@@ -1,0 +1,104 @@
+"""Benchmarks for the extension workloads (SOR, NQueens, reduction tree)
+and the accumulator primitive.
+
+These are not Table 2 rows; they broaden the overhead picture along axes
+the paper's suite doesn't cover: a fully strict divide-and-conquer search
+(NQueens — the SP-bags-compatible shape), a dependence-precision-sensitive
+stencil (SOR), and the zero-shared-access functional extreme (reduction
+tree, where detection cost collapses to task bookkeeping).
+"""
+
+import operator
+
+import pytest
+
+from repro.runtime.accumulator import Accumulator
+from repro.runtime.runtime import Runtime
+from repro.workloads import nqueens, reduce_tree, sor
+from repro.workloads.common import run_instrumented
+
+
+@pytest.fixture(scope="module")
+def sor_params(scale):
+    return sor.default_params(scale)
+
+
+@pytest.fixture(scope="module")
+def nq_params(scale):
+    return nqueens.default_params(scale)
+
+
+@pytest.fixture(scope="module")
+def red_params(scale):
+    return reduce_tree.default_params(scale)
+
+
+def test_sor_seq(benchmark, sor_params):
+    benchmark(sor.serial, sor_params)
+
+
+@pytest.mark.parametrize("entry", ["run_af", "run_future"])
+def test_sor_racedet(benchmark, sor_params, entry):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: getattr(sor, entry)(rt, sor_params), detect=True
+        )
+    )
+    assert not run.races
+
+
+def test_nqueens_seq(benchmark, nq_params):
+    benchmark(nqueens.serial, nq_params)
+
+
+def test_nqueens_racedet(benchmark, nq_params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: nqueens.run_af(rt, nq_params), detect=True
+        )
+    )
+    assert not run.races
+
+
+def test_reduce_tree_racedet(benchmark, red_params):
+    """Functional futures: the detector's task bookkeeping in isolation
+    (zero shared accesses, zero shadow cells)."""
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: reduce_tree.run_future(rt, red_params), detect=True
+        )
+    )
+    assert not run.races
+    assert run.metrics.num_shared_accesses == 0
+
+
+def test_accumulator_reduction(benchmark, nq_params):
+    """Accumulator-based NQueens: race-free reduction without the
+    per-subtree result slots (no shared accesses at all)."""
+
+    def run():
+        det_rt = Runtime()
+        out = {}
+
+        def prog(rt):
+            n, cutoff = nq_params.n, nq_params.cutoff
+            with rt.finish() as scope:
+                acc = Accumulator(rt, scope, op=operator.add, identity=0)
+
+                def explore(placement):
+                    if len(placement) >= cutoff:
+                        acc.put(nqueens._count_sequential(placement, n))
+                        return
+                    with rt.finish():
+                        for col in range(n):
+                            if nqueens._safe(placement, col):
+                                rt.async_(explore, placement + (col,))
+
+                explore(())
+            out["v"] = acc.get()
+
+        det_rt.run(prog)
+        return out["v"]
+
+    result = benchmark(run)
+    nqueens.verify(nq_params, result)

@@ -1,0 +1,58 @@
+"""Table 2 rows *Crypt-af* and *Crypt-future*.
+
+The paper's access-dominated rows: 7.77x / 8.26x slowdowns driven by the
+lowest work-per-access ratio in the suite, with the future variant slightly
+slower due to handle traffic and the fuller shadow reader sets.
+"""
+
+import pytest
+
+from repro.workloads import crypt_idea
+from repro.workloads.common import run_instrumented
+
+
+@pytest.fixture(scope="module")
+def params(scale):
+    return crypt_idea.default_params(scale)
+
+
+def test_seq(benchmark, params):
+    result = benchmark(crypt_idea.serial, params)
+    assert result.roundtrip == result.plaintext
+
+
+def test_af_instrumented(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: crypt_idea.run_af(rt, params), detect=False
+        )
+    )
+    assert run.metrics.num_nt_joins == 0
+
+
+def test_af_racedet(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: crypt_idea.run_af(rt, params), detect=True
+        )
+    )
+    assert not run.races
+    assert 0.0 <= run.avg_readers <= 1.0
+
+
+def test_future_instrumented(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: crypt_idea.run_future(rt, params), detect=False
+        )
+    )
+    assert run.metrics.num_nt_joins == 0
+
+
+def test_future_racedet(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: crypt_idea.run_future(rt, params), detect=True
+        )
+    )
+    assert not run.races

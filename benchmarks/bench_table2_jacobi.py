@@ -1,0 +1,50 @@
+"""Table 2 row *Jacobi* (plus the async-finish rendering for comparison).
+
+The dependence-driven future version carries the suite's largest non-tree
+join count per task; the paper measures 8.05x and notes the slowdown is
+dominated by #SharedMem, not by the non-tree edges ("usually only
+requiring 1-2 hops").
+"""
+
+import pytest
+
+from repro.workloads import jacobi
+from repro.workloads.common import run_instrumented
+
+
+@pytest.fixture(scope="module")
+def params(scale):
+    return jacobi.default_params(scale)
+
+
+def test_seq(benchmark, params):
+    benchmark(jacobi.serial, params)
+
+
+def test_future_instrumented(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: jacobi.run_future(rt, params), detect=False
+        )
+    )
+    assert run.metrics.num_nt_joins > 0
+
+
+def test_future_racedet(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: jacobi.run_future(rt, params), detect=True
+        )
+    )
+    assert not run.races
+
+
+def test_af_racedet_for_comparison(benchmark, params):
+    """The barrier-per-sweep version: zero non-tree joins, same accesses."""
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: jacobi.run_af(rt, params), detect=True
+        )
+    )
+    assert not run.races
+    assert run.metrics.num_nt_joins == 0

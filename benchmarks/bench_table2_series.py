@@ -1,0 +1,58 @@
+"""Table 2 rows *Series-af* and *Series-future*.
+
+Regenerates the paper's measurement protocol for the Series benchmark:
+``Seq`` (serial elision), an instrumented-no-detector middle bar, and
+``Racedet``.  The paper's headline for these rows is a 1.00x slowdown —
+integration work dwarfs the handful of shared accesses per task.
+"""
+
+import pytest
+
+from repro.workloads import series
+from repro.workloads.common import run_instrumented
+
+
+@pytest.fixture(scope="module")
+def params(scale):
+    return series.default_params(scale)
+
+
+def test_seq(benchmark, params):
+    result = benchmark(series.serial, params)
+    assert len(result) == params.n
+
+
+def test_af_instrumented(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(lambda rt: series.run_af(rt, params), detect=False)
+    )
+    assert run.metrics.num_nt_joins == 0
+
+
+def test_af_racedet(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(lambda rt: series.run_af(rt, params), detect=True)
+    )
+    assert not run.races
+    assert 0.0 <= run.avg_readers <= 1.0  # async-finish bound
+
+
+def test_future_instrumented(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: series.run_future(rt, params), detect=False
+        )
+    )
+    # af does 2 coefficient writes per task (2n); the future variant adds
+    # the paper's delta of 2 accesses per task (handle write + read).
+    assert run.metrics.num_shared_accesses == 2 * params.n + 2 * params.n
+
+
+def test_future_racedet(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: series.run_future(rt, params), detect=True
+        )
+    )
+    assert not run.races
+    assert run.metrics.num_nt_joins == 0

@@ -1,0 +1,35 @@
+"""Table 2 row *Smith-Waterman* — the paper's worst case (9.92x): a
+wavefront of future tiles whose every DP cell performs 3 reads + 1 write.
+"""
+
+import pytest
+
+from repro.workloads import smith_waterman as sw
+from repro.workloads.common import run_instrumented
+
+
+@pytest.fixture(scope="module")
+def params(scale):
+    return sw.default_params(scale)
+
+
+def test_seq(benchmark, params):
+    benchmark(sw.serial, params)
+
+
+def test_future_instrumented(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: sw.run_future(rt, params), detect=False
+        )
+    )
+    assert run.metrics.num_nt_joins > 0
+
+
+def test_future_racedet(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: sw.run_future(rt, params), detect=True
+        )
+    )
+    assert not run.races

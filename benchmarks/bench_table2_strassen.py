@@ -1,0 +1,37 @@
+"""Table 2 row *Strassen* — 7 product futures + 4 combining futures per
+recursion level, combiners joining products through sibling (non-tree)
+gets.  The paper measures 5.35x, the lowest of the dependence-driven rows
+thanks to the largest work-per-access ratio among them.
+"""
+
+import pytest
+
+from repro.workloads import strassen
+from repro.workloads.common import run_instrumented
+
+
+@pytest.fixture(scope="module")
+def params(scale):
+    return strassen.default_params(scale)
+
+
+def test_seq(benchmark, params):
+    benchmark(strassen.serial, params)
+
+
+def test_future_instrumented(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: strassen.run_future(rt, params), detect=False
+        )
+    )
+    assert run.metrics.num_nt_joins > 0
+
+
+def test_future_racedet(benchmark, params):
+    run = benchmark(
+        lambda: run_instrumented(
+            lambda rt: strassen.run_future(rt, params), detect=True
+        )
+    )
+    assert not run.races

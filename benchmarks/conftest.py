@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suites.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``tiny`` / ``small`` /
+``table2`` (default ``tiny`` so ``pytest benchmarks/ --benchmark-only``
+finishes in a couple of minutes; use ``small`` or ``table2`` for the
+numbers archived in EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    if value not in ("tiny", "small", "table2"):
+        raise ValueError(f"bad REPRO_BENCH_SCALE {value!r}")
+    return value

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fixing a racy reduction three ways.
+
+The textbook parallel-search bug: every task increments one shared counter.
+Under the serial depth-first execution the answer is even *correct* — which
+is exactly why this bug survives testing — but the detector proves that a
+parallel schedule can lose updates.  Three repairs, in increasing elegance:
+
+1. per-task result slots + parent sums after the finish (the pattern the
+   NQueens Table-2-style workload uses);
+2. a future per subtree, values combined through get() (functional style);
+3. an HJ-style Accumulator (race-free reduction as a runtime primitive).
+
+Run:  python examples/accumulator_reduction.py
+"""
+
+import operator
+
+from repro import DeterminacyRaceDetector, Runtime, SharedArray, SharedVar
+from repro.runtime.accumulator import Accumulator
+
+ITEMS = list(range(1, 17))   # reduce: sum of scores
+SCORE = {i: i * i for i in ITEMS}
+
+
+def racy(rt, det):
+    counter = SharedVar(rt, "total", 0)
+
+    def prog(rt):
+        with rt.finish():
+            for i in ITEMS:
+                rt.async_(lambda i=i: counter.write(counter.read() + SCORE[i]))
+        return counter.read()
+
+    return rt.run(prog)
+
+
+def slots(rt, det):
+    partial = SharedArray(rt, "partial", len(ITEMS))
+
+    def prog(rt):
+        with rt.finish():
+            for idx, i in enumerate(ITEMS):
+                rt.async_(lambda idx=idx, i=i: partial.write(idx, SCORE[i]))
+        return sum(partial.read(idx) for idx in range(len(ITEMS)))
+
+    return rt.run(prog)
+
+
+def futures(rt, det):
+    def prog(rt):
+        handles = [rt.future(lambda i=i: SCORE[i]) for i in ITEMS]
+        return sum(h.get() for h in handles)
+
+    return rt.run(prog)
+
+
+def accumulator(rt, det):
+    def prog(rt):
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity=0)
+            for i in ITEMS:
+                rt.async_(lambda i=i: acc.put(SCORE[i]))
+        return acc.get()
+
+    return rt.run(prog)
+
+
+def main() -> None:
+    expected = sum(SCORE.values())
+    for name, variant in (("racy shared counter", racy),
+                          ("per-task slots", slots),
+                          ("futures (functional)", futures),
+                          ("accumulator", accumulator)):
+        det = DeterminacyRaceDetector()
+        rt = Runtime(observers=[det])
+        value = variant(rt, det)
+        verdict = det.report.summary().splitlines()[0]
+        print(f"{name:22s} -> value {value} (expected {expected}); {verdict}")
+        assert value == expected  # DFS gets them all right...
+    print("\nAll four give the right answer under the depth-first run; only")
+    print("three of them give it under every schedule.  That gap is the")
+    print("whole reason determinacy race detection exists.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""OpenMP-style ``depends`` tasks on futures — the paper's Kastors recipe.
+
+Section 5: the Jacobi/Strassen benchmarks "used the OpenMP 4.0 depends
+clause … The translated versions used future as the main parallel
+construct, with get() operations used to synchronize with previously data
+dependent tasks."  This example shows the same translation on a
+three-stage processing pipeline over a stream of items:
+
+    load(i)  --out-->  raw[i]
+    transform(i)       in: raw[i]      out: cooked[i]
+    reduce(i)          in: cooked[i]   inout: total
+
+Stage tasks for different items run logically in parallel; the ``inout``
+accumulator serializes the reduce stage.  The detector confirms the
+declared dependences cover every shared access, and the metrics show the
+synchronization really is point-to-point (non-tree joins, no barriers).
+
+Run:  python examples/depends_pipeline.py
+"""
+
+from repro import DeterminacyRaceDetector, Runtime, SharedArray, SharedVar
+from repro.harness.metrics import MetricsCollector
+from repro.runtime.depends import DependsTaskGroup
+
+ITEMS = 6
+
+
+def main() -> None:
+    det = DeterminacyRaceDetector()
+    metrics = MetricsCollector()
+    rt = Runtime(observers=[det, metrics])
+
+    raw = SharedArray(rt, "raw", ITEMS)
+    cooked = SharedArray(rt, "cooked", ITEMS)
+    total = SharedVar(rt, "total", 0)
+
+    def program(rt):
+        group = DependsTaskGroup(rt)
+        for i in range(ITEMS):
+            group.task(lambda i=i: raw.write(i, i * 10),
+                       out=[("raw", i)], name=f"load[{i}]")
+            group.task(lambda i=i: cooked.write(i, raw.read(i) + 1),
+                       in_=[("raw", i)], out=[("cooked", i)],
+                       name=f"transform[{i}]")
+            group.task(lambda i=i: total.write(total.read() + cooked.read(i)),
+                       in_=[("cooked", i)], inout=["total"],
+                       name=f"reduce[{i}]")
+        group.wait_all()
+        return total.read()
+
+    result = rt.run(program)
+    expected = sum(i * 10 + 1 for i in range(ITEMS))
+    assert result == expected, (result, expected)
+
+    print(f"pipeline result: {result} (expected {expected})")
+    print(det.report.summary())
+    assert not det.report.has_races
+    m = metrics.snapshot()
+    print(f"tasks: {m.num_tasks}, point-to-point joins: {m.num_gets}, "
+          f"of which non-tree (sibling) joins: {m.num_nt_joins}")
+    print("no finish barrier was needed anywhere — this dependence graph")
+    print("cannot be expressed with async-finish without losing parallelism")
+    print("(the paper's motivation for future-aware race detection).")
+
+
+if __name__ == "__main__":
+    main()

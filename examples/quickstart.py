@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: find a determinacy race, fix it with a future, verify.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeterminacyRaceDetector, Runtime, SharedArray
+
+
+def racy_version() -> DeterminacyRaceDetector:
+    """A producer future that nobody joins before the read — a race."""
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+    data = SharedArray(rt, "data", [0])
+
+    def program(rt):
+        rt.future(lambda: data.write(0, 42), name="producer")
+        # BUG: no get() before reading what the producer wrote.
+        return data.read(0)
+
+    rt.run(program)
+    return det
+
+
+def fixed_version() -> DeterminacyRaceDetector:
+    """Joining the future with get() inserts the missing happens-before."""
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+    data = SharedArray(rt, "data", [0])
+
+    def program(rt):
+        f = rt.future(lambda: data.write(0, 42), name="producer")
+        f.get()  # point-to-point join: producer's write now precedes us
+        return data.read(0)
+
+    value = rt.run(program)
+    assert value == 42
+    return det
+
+
+def main() -> None:
+    print("=== racy version ===")
+    det = racy_version()
+    print(det.report.summary())
+    assert det.report.has_races
+
+    print("\n=== fixed version ===")
+    det = fixed_version()
+    print(det.report.summary())
+    assert not det.report.has_races
+
+    print("\nThe detector runs on a serial depth-first execution and is")
+    print("sound AND precise: one run decides race-freedom for this input")
+    print("across ALL parallel schedules (Theorem 2).")
+
+
+if __name__ == "__main__":
+    main()

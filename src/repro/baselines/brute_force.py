@@ -1,0 +1,101 @@
+"""Brute-force race detection via transitive closure — the oracle.
+
+Section 1 dismisses "brute force approaches such as building the transitive
+closure of the happens-before relation" for production use; we build exactly
+that as (a) the ground-truth oracle for Theorem 2 property tests and (b) a
+baseline whose cost curves motivate the DTRG.
+
+The detector records the full computation graph during execution and, at
+shutdown, computes the step-level closure and enumerates conflicting
+logically-parallel access pairs (Definition 3).  Reports surface at task
+granularity for comparability with the on-the-fly detectors.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, List, Optional
+
+from repro.baselines.base import BaselineDetector
+from repro.core.races import AccessKind, ReportPolicy
+from repro.graph.analysis import RacePair, ReachabilityClosure, find_races
+from repro.graph.computation_graph import GraphBuilder
+
+__all__ = ["BruteForceDetector"]
+
+
+class BruteForceDetector(BaselineDetector):
+    """Post-mortem exact detector; also exposes the graph and closure.
+
+    ``max_pairs_per_loc`` limits enumerated pairs per location (default 1 —
+    per-location verdicts only, which is what Theorem 2 speaks about);
+    pass ``None`` for the full quadratic enumeration.
+    """
+
+    def __init__(
+        self,
+        policy: ReportPolicy | str = ReportPolicy.COLLECT,
+        *,
+        dedupe: bool = True,
+        max_pairs_per_loc: Optional[int] = 1,
+    ) -> None:
+        super().__init__(policy, dedupe=dedupe)
+        self._builder = GraphBuilder()
+        self._max_pairs = max_pairs_per_loc
+        self.closure: Optional[ReachabilityClosure] = None
+        self.pairs: List[RacePair] = []
+
+    # Delegate every structural hook to the embedded graph builder.
+    def on_init(self, main) -> None:
+        self._remember_name(main)
+        self._builder.on_init(main)
+
+    def on_task_create(self, parent, child) -> None:
+        self._remember_name(child)
+        self._builder.on_task_create(parent, child)
+
+    def on_task_end(self, task) -> None:
+        self._builder.on_task_end(task)
+
+    def on_get(self, consumer, producer) -> None:
+        self._builder.on_get(consumer, producer)
+
+    def on_finish_start(self, scope) -> None:
+        self._builder.on_finish_start(scope)
+
+    def on_finish_end(self, scope) -> None:
+        self._builder.on_finish_end(scope)
+
+    def on_read(self, task, loc) -> None:
+        self._builder.on_read(task, loc)
+
+    def on_write(self, task, loc) -> None:
+        self._builder.on_write(task, loc)
+
+    def on_shutdown(self, main) -> None:
+        graph = self._builder.graph
+        self.closure = ReachabilityClosure(graph)
+        self.pairs = find_races(
+            graph, self.closure, max_pairs_per_loc=self._max_pairs
+        )
+        for pair in self.pairs:
+            kind = _pair_kind(pair)
+            self._report_race(kind, pair.first.task, pair.second.task, pair.loc)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self):
+        """The recorded :class:`~repro.graph.computation_graph.ComputationGraph`."""
+        return self._builder.graph
+
+    def racy_location_set(self) -> FrozenSet[Hashable]:
+        """Exact set of racy locations (alias of ``report.racy_locations``
+        once shutdown ran)."""
+        return frozenset(self.report.racy_locations)
+
+
+def _pair_kind(pair: RacePair) -> AccessKind:
+    if pair.first.is_write and pair.second.is_write:
+        return AccessKind.WRITE_WRITE
+    if pair.first.is_write:
+        return AccessKind.WRITE_READ
+    return AccessKind.READ_WRITE

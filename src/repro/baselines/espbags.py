@@ -1,0 +1,162 @@
+"""ESP-bags — race detection for async-finish parallelism (Raman et al.).
+
+The paper's Section 5 compares its slowdowns on async-finish benchmarks
+against "the ESP-Bags algorithm [23] that only supported async and finish".
+This module implements that baseline so the comparison can be reproduced.
+
+The algorithm generalizes Feng & Leiserson's SP-bags from Cilk's fully
+strict spawn-sync to terminally strict async-finish.  Every task owns an
+**S-bag** (descendants guaranteed to have joined — serialized with the
+task's continuation) and every finish scope owns a **P-bag** (completed
+tasks that may still run logically in parallel with code after them, until
+the scope closes):
+
+* spawn of ``C``             → make S-bag {C};
+* ``C`` terminates           → S(C) merges into P(IEF(C));
+* ``finish`` scope ``F`` ends → P(F) merges into S(owner);
+* access check               → a previously recorded task ``u`` precedes the
+  current step iff the bag currently containing ``u`` is an S-bag.
+
+Shadow memory keeps one writer and one reader per location (sufficient for
+async-finish by the paper's Lemma 4).  ``get`` raises
+:class:`UnsupportedConstructError`: futures are exactly what this model
+cannot express (non-tree joins have no bag to live in).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.baselines.base import BaselineDetector
+from repro.core.disjoint_set import DisjointSets
+from repro.core.races import AccessKind, ReportPolicy
+from repro.runtime.errors import UnsupportedConstructError
+
+__all__ = ["ESPBagsDetector", "BagKind"]
+
+
+class BagKind:
+    """Bag tags attached to disjoint sets."""
+
+    S = "S"
+    P = "P"
+
+
+class _Cell:
+    __slots__ = ("writer", "reader")
+
+    def __init__(self) -> None:
+        self.writer: Optional[int] = None
+        self.reader: Optional[int] = None
+
+
+class ESPBagsDetector(BaselineDetector):
+    """ESP-bags detector for async-finish programs."""
+
+    #: Set by subclasses that restrict the model further (SP-bags).
+    _model_name = "ESP-bags"
+
+    def __init__(
+        self,
+        policy: ReportPolicy | str = ReportPolicy.COLLECT,
+        *,
+        dedupe: bool = True,
+    ) -> None:
+        super().__init__(policy, dedupe=dedupe)
+        self._bags: DisjointSets[int] = DisjointSets()  # elements: task tids
+        self._kind: Dict[int, str] = {}  # set-representative -> bag kind
+        # P-bag anchor element per finish scope: lazily created synthetic
+        # elements (negative ids) so empty scopes cost nothing.
+        self._scope_anchor: Dict[int, int] = {}
+        self._cells: Dict[Hashable, _Cell] = {}
+
+    # ------------------------------------------------------------------ #
+    # Structure hooks                                                    #
+    # ------------------------------------------------------------------ #
+    def on_init(self, main) -> None:
+        self._remember_name(main)
+        self._bags.make_set(main.tid)
+        self._kind[main.tid] = BagKind.S
+
+    def on_task_create(self, parent, child) -> None:
+        self._remember_name(child)
+        self._bags.make_set(child.tid)
+        self._kind[child.tid] = BagKind.S
+
+    def on_task_end(self, task) -> None:
+        if task.ief is None:
+            return  # main: nothing outlives it
+        # S(task) (which already absorbed the task's closed finish P-bags)
+        # becomes parallel material of the enclosing scope.
+        anchor = self._anchor(task.ief.fid)
+        root = self._bags.union(anchor, task.tid)
+        self._kind[root] = BagKind.P
+
+    def on_get(self, consumer, producer) -> None:
+        raise UnsupportedConstructError(
+            f"{self._model_name} cannot model future get() operations "
+            "(non-strict computation graphs)"
+        )
+
+    def on_finish_end(self, scope) -> None:
+        fid = scope.fid
+        anchor = self._scope_anchor.pop(fid, None)
+        if anchor is None:
+            return  # no task ever joined this scope
+        # P(F) drains into S(owner): everything in it is now serialized
+        # with the owner's continuation.
+        root = self._bags.union(scope.owner.tid, anchor)
+        self._kind[root] = BagKind.S
+
+    # ------------------------------------------------------------------ #
+    # Access checks                                                      #
+    # ------------------------------------------------------------------ #
+    def on_write(self, task, loc) -> None:
+        cell = self._cell(loc)
+        tid = task.tid
+        r = cell.reader
+        if r is not None and not self._precedes(r, tid):
+            self._report_race(AccessKind.READ_WRITE, r, tid, loc)
+        else:
+            cell.reader = None  # superseded by this write
+        w = cell.writer
+        if w is not None and not self._precedes(w, tid):
+            self._report_race(AccessKind.WRITE_WRITE, w, tid, loc)
+        cell.writer = tid
+
+    def on_read(self, task, loc) -> None:
+        cell = self._cell(loc)
+        tid = task.tid
+        w = cell.writer
+        if w is not None and not self._precedes(w, tid):
+            self._report_race(AccessKind.WRITE_READ, w, tid, loc)
+        r = cell.reader
+        if r is None or self._precedes(r, tid):
+            cell.reader = tid
+        # else: keep the leftmost parallel reader (Lemma 4 covers us).
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+    def _precedes(self, prev_tid: int, cur_tid: int) -> bool:
+        """A recorded task precedes the current step iff its bag is an
+        S-bag (or it *is* the current task)."""
+        if prev_tid == cur_tid:
+            return True
+        return self._kind[self._bags.find(prev_tid)] == BagKind.S
+
+    def _anchor(self, fid: int) -> int:
+        anchor = self._scope_anchor.get(fid)
+        if anchor is None:
+            anchor = -(fid + 1)  # negative synthetic element, unique per scope
+            self._bags.make_set(anchor)
+            self._kind[anchor] = BagKind.P
+            self._scope_anchor[fid] = anchor
+        return anchor
+
+    def _cell(self, loc: Hashable) -> _Cell:
+        cell = self._cells.get(loc)
+        if cell is None:
+            cell = _Cell()
+            self._cells[loc] = cell
+        return cell

@@ -1,0 +1,39 @@
+"""SP-bags — Feng & Leiserson's detector for Cilk's fully strict model.
+
+Cilk's spawn-sync discipline is *fully strict*: a task may be joined only by
+its own parent (``sync`` waits for the parent's outstanding children).  In
+async-finish vocabulary that means every async's Immediately Enclosing
+Finish must be owned by the async's own parent — ``finish`` plays the role
+of an enclosing ``sync`` region.
+
+The bag mechanics are identical to ESP-bags (ESP-bags *is* the async-finish
+generalization of SP-bags), so :class:`SPBagsDetector` reuses them and adds
+the structural restriction: it rejects terminally-strict programs (asyncs
+that escape to an ancestor's finish) and, like ESP-bags, rejects futures.
+This keeps the baseline honest about which computation graphs each
+algorithm class supports — the core claim of the paper's related-work
+comparison (Section 6).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.espbags import ESPBagsDetector
+from repro.runtime.errors import UnsupportedConstructError
+
+__all__ = ["SPBagsDetector"]
+
+
+class SPBagsDetector(ESPBagsDetector):
+    """SP-bags: ESP-bags restricted to fully strict (spawn-sync) programs."""
+
+    _model_name = "SP-bags"
+
+    def on_task_create(self, parent, child) -> None:
+        if child.ief is not None and child.ief.owner is not parent:
+            raise UnsupportedConstructError(
+                "SP-bags requires fully strict computations: task "
+                f"{child.name} escapes its parent into an ancestor's finish "
+                f"(owned by {child.ief.owner.name}); use ESP-bags or the "
+                "futures detector"
+            )
+        super().on_task_create(parent, child)

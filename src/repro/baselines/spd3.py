@@ -1,0 +1,230 @@
+"""SPD3 — race detection via the Dynamic Program Structure Tree.
+
+Related work [25] (Raman, Zhao, Sarkar, Vechev, Yahav, PLDI 2012): for
+async-finish programs, whether two steps may execute logically in parallel
+"can still be determined efficiently by a lookup of the lowest common
+ancestor of the instructions in the dynamic program structure tree"
+(the paper's Section 1/6 summary of SPD3).
+
+The **DPST** has one internal node per dynamic ``async`` and ``finish``
+instance and one leaf per *step*; a node's children are ordered left to
+right in creation order.  The May-Happen-in-Parallel query for two steps
+``s1``, ``s2`` with ``s1`` to the left (= earlier in the serial depth-first
+execution):
+
+    DMHP(s1, s2)  =  the child of LCA(s1, s2) on the path to s1
+                     is an ASYNC node.
+
+Intuition: everything under an async subtree runs asynchronously with the
+code to its right until the enclosing finish closes — and the enclosing
+finish, if already closed, would *be* the LCA's child boundary instead.
+
+Shadow memory: one writer and one reader step per location.  SPD3 proper
+stores *two* readers so that checks can run from concurrently executing
+tasks; under serial depth-first detection a single reader is sufficient by
+the paper's Lemma 4 (we document this simplification; ESP-bags makes the
+same choice).  Futures raise
+:class:`~repro.runtime.errors.UnsupportedConstructError` — non-tree joins
+have no DPST expression, which is precisely the gap the DTRG fills.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, List, Optional
+
+from repro.baselines.base import BaselineDetector
+from repro.core.races import AccessKind, ReportPolicy
+from repro.runtime.errors import UnsupportedConstructError
+
+__all__ = ["SPD3Detector", "DpstNode", "DpstNodeKind"]
+
+
+class DpstNodeKind(enum.Enum):
+    FINISH = "finish"
+    ASYNC = "async"
+    STEP = "step"
+
+
+class DpstNode:
+    """One DPST node.  ``index`` is the global creation (= left-to-right)
+    order, used to decide which of two steps is the earlier one."""
+
+    __slots__ = ("kind", "parent", "depth", "index")
+
+    def __init__(
+        self, kind: DpstNodeKind, parent: Optional["DpstNode"], index: int
+    ) -> None:
+        self.kind = kind
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Dpst {self.kind.value}#{self.index} d={self.depth}>"
+
+
+class _Cell:
+    __slots__ = ("writer", "reader")
+
+    def __init__(self) -> None:
+        self.writer: Optional[DpstNode] = None
+        self.reader: Optional[DpstNode] = None
+
+
+class SPD3Detector(BaselineDetector):
+    """DPST/LCA-based detector for async-finish programs."""
+
+    def __init__(
+        self,
+        policy: ReportPolicy | str = ReportPolicy.COLLECT,
+        *,
+        dedupe: bool = True,
+    ) -> None:
+        super().__init__(policy, dedupe=dedupe)
+        self._next_index = 0
+        self.root: Optional[DpstNode] = None
+        # Innermost open internal node per task (tasks execute one at a
+        # time under DFS, but escaping asyncs need per-task context).
+        self._context: Dict[int, DpstNode] = {}
+        self._current_step: Dict[int, Optional[DpstNode]] = {}
+        self._step_task: Dict[DpstNode, int] = {}
+        self._cells: Dict[Hashable, _Cell] = {}
+        self.num_nodes = 0
+        self.num_lca_queries = 0
+
+    # ------------------------------------------------------------------ #
+    # DPST construction                                                  #
+    # ------------------------------------------------------------------ #
+    def _node(self, kind: DpstNodeKind, parent: Optional[DpstNode]) -> DpstNode:
+        node = DpstNode(kind, parent, self._next_index)
+        self._next_index += 1
+        self.num_nodes += 1
+        return node
+
+    def _step(self, tid: int) -> DpstNode:
+        step = self._current_step.get(tid)
+        if step is None:
+            step = self._node(DpstNodeKind.STEP, self._context[tid])
+            self._current_step[tid] = step
+            self._step_task[step] = tid
+        return step
+
+    def _boundary(self, tid: int) -> None:
+        self._current_step[tid] = None
+
+    # ------------------------------------------------------------------ #
+    # Observer hooks                                                     #
+    # ------------------------------------------------------------------ #
+    def on_init(self, main) -> None:
+        self._remember_name(main)
+        self.root = self._node(DpstNodeKind.FINISH, None)
+        self._context[main.tid] = self.root
+
+    def on_finish_start(self, scope) -> None:
+        if scope.enclosing is None:
+            return  # the implicit root finish is the DPST root itself
+        tid = scope.owner.tid
+        self._boundary(tid)
+        self._context[tid] = self._node(
+            DpstNodeKind.FINISH, self._context[tid]
+        )
+
+    def on_finish_end(self, scope) -> None:
+        if scope.enclosing is None:
+            return
+        tid = scope.owner.tid
+        self._boundary(tid)
+        node = self._context[tid]
+        assert node.kind is DpstNodeKind.FINISH
+        self._context[tid] = node.parent
+
+    def on_task_create(self, parent, child) -> None:
+        self._remember_name(child)
+        if child.is_future:
+            raise UnsupportedConstructError(
+                "SPD3 supports async-finish only; future tasks create "
+                "non-tree joins outside the DPST model"
+            )
+        tid = parent.tid
+        self._boundary(tid)
+        # The async node hangs off the spawner's innermost open scope.
+        self._context[child.tid] = self._node(
+            DpstNodeKind.ASYNC, self._context[tid]
+        )
+
+    def on_task_end(self, task) -> None:
+        self._boundary(task.tid)
+
+    def on_get(self, consumer, producer) -> None:
+        raise UnsupportedConstructError(
+            "SPD3 cannot model future get() operations"
+        )
+
+    # ------------------------------------------------------------------ #
+    # DMHP + access checks                                               #
+    # ------------------------------------------------------------------ #
+    def dmhp(self, s1: DpstNode, s2: DpstNode) -> bool:
+        """May ``s1`` and ``s2`` happen in parallel?
+
+        Order-insensitive: internally orders the two steps by creation
+        index so the "child toward the earlier step" rule applies.
+        """
+        self.num_lca_queries += 1
+        if s1 is s2:
+            return False
+        if s1.index > s2.index:
+            s1, s2 = s2, s1
+        # Walk up to equal depth, remembering s1's last hop.
+        a, b = s1, s2
+        child_a: Optional[DpstNode] = None
+        while a.depth > b.depth:
+            child_a, a = a, a.parent
+        while b.depth > a.depth:
+            b = b.parent
+        while a is not b:
+            child_a, a = a, a.parent
+            b = b.parent
+        # `a` is the LCA; `child_a` its child on the path to s1 (None only
+        # if s1 were an ancestor of s2 — impossible for two step leaves).
+        assert child_a is not None
+        return child_a.kind is DpstNodeKind.ASYNC
+
+    def _precedes(self, prev: DpstNode, cur: DpstNode) -> bool:
+        return not self.dmhp(prev, cur)
+
+    def on_write(self, task, loc) -> None:
+        cur = self._step(task.tid)
+        cell = self._cell(loc)
+        r = cell.reader
+        if r is not None and not self._precedes(r, cur):
+            self._report_race(
+                AccessKind.READ_WRITE, self._step_task[r], task.tid, loc
+            )
+        else:
+            cell.reader = None
+        w = cell.writer
+        if w is not None and not self._precedes(w, cur):
+            self._report_race(
+                AccessKind.WRITE_WRITE, self._step_task[w], task.tid, loc
+            )
+        cell.writer = cur
+
+    def on_read(self, task, loc) -> None:
+        cur = self._step(task.tid)
+        cell = self._cell(loc)
+        w = cell.writer
+        if w is not None and not self._precedes(w, cur):
+            self._report_race(
+                AccessKind.WRITE_READ, self._step_task[w], task.tid, loc
+            )
+        r = cell.reader
+        if r is None or self._precedes(r, cur):
+            cell.reader = cur
+
+    def _cell(self, loc: Hashable) -> _Cell:
+        cell = self._cells.get(loc)
+        if cell is None:
+            cell = _Cell()
+            self._cells[loc] = cell
+        return cell

@@ -1,0 +1,205 @@
+"""Execution events, the observer interface, and recorded traces.
+
+The paper instruments a running Habanero-Java program so the detector is
+invoked "at async, finish and future boundaries, future get operations, and
+also on reads and writes to shared memory locations" (Section 5).  We model
+that instrumentation as an *event stream*: the serial depth-first runtime
+emits one event per boundary, and any number of :class:`ExecutionObserver`
+instances consume it.
+
+Observers shipped with this library:
+
+* :class:`repro.core.detector.DeterminacyRaceDetector` — the paper's
+  Algorithms 1-10,
+* the baselines in :mod:`repro.baselines` (SP-bags, ESP-bags, vector clocks,
+  brute force),
+* :class:`repro.graph.computation_graph.GraphBuilder` — builds the Section 3
+  computation graph (the testing oracle's substrate),
+* :class:`repro.harness.metrics.MetricsCollector` — the Table 2 counters,
+* :class:`repro.memory.tracer.TraceRecorder` — records the stream into a
+  :class:`Trace` that can later be replayed into any observer, which is how
+  the detector micro-benchmarks time detection without re-running workloads.
+
+Event identity uses task ids and location keys only, so a recorded trace is
+self-contained and replayable in a fresh process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, List, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.finish import FinishScope
+    from repro.runtime.task import Task
+
+__all__ = [
+    "ExecutionObserver",
+    "TaskCreateEvent",
+    "TaskEndEvent",
+    "GetEvent",
+    "FinishStartEvent",
+    "FinishEndEvent",
+    "ReadEvent",
+    "WriteEvent",
+    "Event",
+    "Trace",
+]
+
+#: Type of a shared-memory location key: any hashable value.  The shared
+#: wrappers use ``(object_name, index)`` tuples.
+LocationKey = Hashable
+
+
+class ExecutionObserver:
+    """Base class for consumers of the instrumentation event stream.
+
+    All hooks default to no-ops so observers override only what they need.
+    Hook order for one program run (serial depth-first):
+
+    1. ``on_init(main)`` once, before user code runs.
+    2. ``on_task_create(parent, child)`` at each ``async``/``future`` spawn,
+       *before* the child's body runs.
+    3. child body events (recursively), then ``on_task_end(child)``.
+    4. ``on_get(consumer, producer)`` at each ``get()``.
+    5. ``on_finish_start(scope)`` / ``on_finish_end(scope)`` around scopes;
+       ``on_finish_end`` fires after every task registered to the scope has
+       ended.
+    6. ``on_read(task, loc)`` / ``on_write(task, loc)`` at shared accesses.
+    7. ``on_shutdown(main)`` once, after the implicit root finish closes.
+    """
+
+    def on_init(self, main: "Task") -> None: ...
+
+    def on_task_create(self, parent: "Task", child: "Task") -> None: ...
+
+    def on_task_end(self, task: "Task") -> None: ...
+
+    def on_get(self, consumer: "Task", producer: "Task") -> None: ...
+
+    def on_finish_start(self, scope: "FinishScope") -> None: ...
+
+    def on_finish_end(self, scope: "FinishScope") -> None: ...
+
+    def on_read(self, task: "Task", loc: LocationKey) -> None: ...
+
+    def on_write(self, task: "Task", loc: LocationKey) -> None: ...
+
+    def on_shutdown(self, main: "Task") -> None: ...
+
+
+# ---------------------------------------------------------------------- #
+# Recorded-event dataclasses                                             #
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TaskCreateEvent:
+    parent: int          #: tid of the spawning task
+    child: int           #: tid of the new task
+    is_future: bool      #: TaskKind of the child
+    ief: int             #: fid of the child's immediately enclosing finish
+
+
+@dataclass(frozen=True)
+class TaskEndEvent:
+    task: int
+
+
+@dataclass(frozen=True)
+class GetEvent:
+    consumer: int
+    producer: int
+
+
+@dataclass(frozen=True)
+class FinishStartEvent:
+    fid: int
+    owner: int
+    enclosing: int  #: fid of the enclosing scope; -1 for the root finish
+
+
+@dataclass(frozen=True)
+class FinishEndEvent:
+    fid: int
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    task: int
+    loc: LocationKey
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    task: int
+    loc: LocationKey
+
+
+Event = Union[
+    TaskCreateEvent,
+    TaskEndEvent,
+    GetEvent,
+    FinishStartEvent,
+    FinishEndEvent,
+    ReadEvent,
+    WriteEvent,
+]
+
+
+@dataclass
+class Trace:
+    """A fully recorded instrumentation stream.
+
+    ``events`` excludes the implicit init/shutdown bracket; replay
+    re-synthesizes those.  Traces are value objects: equality compares the
+    event lists, and they pickle cleanly.
+    """
+
+    events: List[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def counts(self) -> Tuple[int, int, int]:
+        """Return ``(num_tasks_created, num_gets, num_accesses)`` — a quick
+        sanity fingerprint used by tests."""
+        tasks = gets = accesses = 0
+        for e in self.events:
+            if isinstance(e, TaskCreateEvent):
+                tasks += 1
+            elif isinstance(e, GetEvent):
+                gets += 1
+            elif isinstance(e, (ReadEvent, WriteEvent)):
+                accesses += 1
+        return tasks, gets, accesses
+
+    # ------------------------------------------------------------------ #
+    # Persistence: traces are self-contained (ids + location keys only),
+    # so a pickled trace recorded once can be replayed into any detector
+    # in a fresh process — how the benchmark suites share inputs.
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Pickle the trace to ``path``."""
+        import pickle
+
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def load(path) -> "Trace":
+        """Load a trace previously written by :meth:`save`.
+
+        Only unpickle traces you created yourself — pickle executes code.
+        """
+        import pickle
+
+        with open(path, "rb") as fh:
+            trace = pickle.load(fh)
+        if not isinstance(trace, Trace):
+            raise TypeError(f"{path} does not contain a Trace")
+        return trace

@@ -1,0 +1,108 @@
+"""Online interval labeling of the dynamic spawn tree.
+
+Section 4.1 ("Interval encoding of spawn tree"): every task is assigned a
+``(pre, post)`` label from a depth-first traversal of the spawn tree, and task
+``x`` is an ancestor of task ``y`` iff ``x.pre <= y.pre and y.post <= x.post``.
+
+Because race detection is *on-the-fly*, the spawn tree unfolds while labels
+are being handed out, so a task's true postorder number is unknown until the
+task terminates.  The paper's scheme (Algorithms 1-3):
+
+* ``pre``  — assigned at spawn from a counter ``dfid`` that increases over
+  time.  Since the program executes in serial depth-first order, spawn order
+  *is* preorder.
+* ``post`` — assigned a *temporary* value at spawn, taken from a counter
+  ``tmpid`` that starts at MAXINT and decreases; the temporary value is
+  replaced by the final value (drawn from ``dfid`` again) when the task
+  terminates.
+
+The invariant that makes temporaries sound: at any moment, a live (not yet
+terminated) task's temporary postorder is larger than every final postorder
+ever assigned and larger than the temporaries of all its live descendants
+(later spawns get strictly smaller temporaries).  Hence interval containment
+answers ancestor queries correctly *at every intermediate moment*, which unit
+and property tests verify directly.
+
+The counters also serve double duty in the detector's :func:`visit` pruning:
+the source of a non-tree join edge always has a smaller preorder than the
+sink, so a search can stop as soon as every frontier preorder drops below the
+query task's preorder.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+__all__ = ["IntervalLabel", "LabelAllocator", "MAXID"]
+
+#: Stand-in for the paper's MAXINT.  Python ints are unbounded; any value
+#: comfortably above the largest task count works.
+MAXID = sys.maxsize
+
+
+@dataclass
+class IntervalLabel:
+    """A mutable ``[pre, post]`` interval for one task (later one set).
+
+    ``post`` holds a temporary value (near :data:`MAXID`) until the task
+    terminates and :meth:`LabelAllocator.on_terminate` installs the final
+    postorder number.
+    """
+
+    pre: int
+    post: int
+    final: bool = False  # True once the real postorder value is installed
+
+    def contains(self, other: "IntervalLabel") -> bool:
+        """True iff this interval subsumes ``other``.
+
+        With labels drawn from :class:`LabelAllocator` this is exactly the
+        ancestor-or-self relation on the spawn tree.
+        """
+        return self.pre <= other.pre and other.post <= self.post
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        post = str(self.post) if self.final else f"~{MAXID - self.post}"
+        return f"[{self.pre},{post}]"
+
+
+class LabelAllocator:
+    """Hands out interval labels in serial-DFS spawn/termination order.
+
+    Mirrors the counter discipline of Algorithms 1-3:
+
+    * ``dfid``   — shared preorder/postorder counter, increases.
+    * ``tmpid``  — temporary-postorder counter, starts at MAXINT, decreases
+      on spawn and *increases back* on termination (Algorithm 3 line 3), so
+      temporaries are recycled in stack order exactly as tasks nest.
+    """
+
+    def __init__(self) -> None:
+        self._dfid = 0
+        self._tmpid = MAXID
+
+    def on_spawn(self) -> IntervalLabel:
+        """Label a freshly spawned task (Algorithm 2 lines 2-5)."""
+        label = IntervalLabel(pre=self._dfid, post=self._tmpid)
+        self._dfid += 1
+        self._tmpid -= 1
+        return label
+
+    def on_terminate(self, label: IntervalLabel) -> None:
+        """Finalize a terminating task's postorder (Algorithm 3).
+
+        Must be called in LIFO order with respect to :meth:`on_spawn` of
+        still-live tasks — which serial depth-first execution guarantees.
+        """
+        if label.final:
+            raise ValueError("label already finalized")
+        label.post = self._dfid
+        label.final = True
+        self._dfid += 1
+        self._tmpid += 1
+
+    @property
+    def live_count(self) -> int:
+        """Number of spawned-but-not-terminated labels."""
+        return MAXID - self._tmpid

@@ -1,0 +1,172 @@
+"""Shadow memory — Section 4.2 and Algorithms 8-9.
+
+For every shared location ``M`` the detector keeps a shadow cell ``M_s``:
+
+* ``w`` — the task that last wrote ``M`` (``None`` until the first write);
+* ``r`` — tasks that read ``M`` in parallel since the last write.  The set
+  holds **at most one async task** but arbitrarily many future tasks:
+  Lemma 4's pseudo-transitivity (``s1 ∥ s2 ∧ s2 ∥ s3 ⇒ s1 ∥ s3``) holds only
+  among async tasks, so a single async "leftmost parallel reader"
+  representative suffices for async readers, while every parallel future
+  reader must be retained.
+
+The *average* shadow reader-set population is the paper's ``#AvgReaders``
+column in Table 2 (0..1 for async-finish programs, unbounded with futures);
+:class:`ShadowMemory` maintains the running average exactly as described:
+"the average number of past parallel readers per location stored in the
+shadow memory when a read/write access is performed on that location …
+computed across all accesses and all locations."
+
+Deviation from the printed pseudocode (see DESIGN.md §3): Algorithm 9 as
+printed never records the *first* reader of a location (the ``update`` flag
+stays false when ``r`` is empty), which would let a later parallel write slip
+through undetected; we treat an empty reader set as "record the reader".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["ShadowCell", "ShadowMemory"]
+
+
+class ShadowCell:
+    """Shadow state of one shared memory location."""
+
+    __slots__ = ("writer", "readers")
+
+    def __init__(self) -> None:
+        self.writer: Optional[int] = None
+        self.readers: List[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShadowCell(w={self.writer}, r={self.readers})"
+
+
+class ShadowMemory:
+    """All shadow cells plus the Algorithm 8/9 access checks.
+
+    Parameters
+    ----------
+    precede:
+        ``precede(prev_tid, cur_tid) -> bool`` — the DTRG query.
+    is_future:
+        ``is_future(tid) -> bool`` — the paper's ``IsFuture``.
+    report:
+        ``report(kind, prev_tid, cur_tid, loc)`` — race sink, called for each
+        conflicting pair found.
+    """
+
+    def __init__(
+        self,
+        precede: Callable[[int, int], bool],
+        is_future: Callable[[int], bool],
+        report: Callable[[str, int, int, Hashable], None],
+    ) -> None:
+        self._cells: Dict[Hashable, ShadowCell] = {}
+        self._precede = precede
+        self._is_future = is_future
+        self._report = report
+        # #AvgReaders bookkeeping: readers stored at the moment of access,
+        # summed over all accesses.
+        self.num_accesses = 0
+        self.total_readers_seen = 0
+
+    # ------------------------------------------------------------------ #
+    def cell(self, loc: Hashable) -> ShadowCell:
+        """The shadow cell for ``loc``, created on first touch."""
+        cell = self._cells.get(loc)
+        if cell is None:
+            cell = ShadowCell()
+            self._cells[loc] = cell
+        return cell
+
+    def write(self, task: int, loc: Hashable) -> None:
+        """Algorithm 8 — write check.
+
+        Every stored reader and the stored writer must precede the writing
+        task; offenders are reported.  Readers that do precede are retired
+        (the new write supersedes them); the writer shadow becomes the
+        current task.
+        """
+        cell = self.cell(loc)
+        precede = self._precede
+        self.num_accesses += 1
+        readers = cell.readers
+        self.total_readers_seen += len(readers)
+        if readers:
+            # Lazily copy: the common case retires or keeps everything
+            # without rebuilding the list.
+            surviving: Optional[List[int]] = None
+            for i, x in enumerate(readers):
+                if precede(x, task):
+                    if surviving is None:
+                        surviving = readers[:i]
+                    continue  # retired: happens-before the write
+                self._report("read-write", x, task, loc)
+                if surviving is not None:
+                    surviving.append(x)  # the paper keeps racy readers
+            if surviving is not None:
+                cell.readers = surviving
+        w = cell.writer
+        if w is not None and w != task and not precede(w, task):
+            self._report("write-write", w, task, loc)
+        cell.writer = task
+
+    def read(self, task: int, loc: Hashable) -> None:
+        """Algorithm 9 — read check.
+
+        The stored writer must precede the reading task.  The reader set is
+        maintained so that it always contains every past parallel *future*
+        reader plus one representative async reader (Lemma 4 justifies the
+        single-async policy).
+        """
+        cell = self.cell(loc)
+        precede = self._precede
+        self.num_accesses += 1
+        readers = cell.readers
+        self.total_readers_seen += len(readers)
+        update = not readers  # deviation: always record the first reader
+        if readers:
+            task_is_future = self._is_future(task)
+            surviving: Optional[List[int]] = None
+            for i, x in enumerate(readers):
+                if precede(x, task):
+                    update = True  # x is superseded by this reader
+                    if surviving is None:
+                        surviving = readers[:i]
+                    continue
+                if task_is_future or self._is_future(x):
+                    update = True  # pseudo-transitivity unavailable: keep both
+                if surviving is not None:
+                    surviving.append(x)
+            if surviving is not None:
+                cell.readers = surviving
+        w = cell.writer
+        if w is not None and w != task and not precede(w, task):
+            self._report("write-read", w, task, loc)
+        if update and task not in cell.readers:
+            cell.readers.append(task)
+
+    # ------------------------------------------------------------------ #
+    # Metrics / introspection                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def avg_readers(self) -> float:
+        """Paper's ``#AvgReaders``: mean stored-reader population observed
+        at access time, over all accesses."""
+        if self.num_accesses == 0:
+            return 0.0
+        return self.total_readers_seen / self.num_accesses
+
+    @property
+    def num_locations(self) -> int:
+        """Number of distinct shared locations touched."""
+        return len(self._cells)
+
+    def state(self, loc: Hashable) -> Tuple[Optional[int], List[int]]:
+        """``(writer, readers)`` of ``loc``'s cell — for tests."""
+        cell = self._cells.get(loc)
+        if cell is None:
+            return None, []
+        return cell.writer, list(cell.readers)

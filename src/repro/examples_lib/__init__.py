@@ -1,0 +1,19 @@
+"""The paper's example programs (Figures 1-3, Table 1, Appendix A) as
+runnable library code, shared by tests and the ``examples/`` scripts."""
+
+from repro.examples_lib.appendix_deadlock import DeadlockOutcome, run_deadlock_example
+from repro.examples_lib.figure1 import Figure1Result, run_figure1
+from repro.examples_lib.figure2 import Figure2Result, run_figure2
+from repro.examples_lib.figure3 import DtrgSnapshot, Figure3Result, run_figure3
+
+__all__ = [
+    "run_figure1",
+    "Figure1Result",
+    "run_figure2",
+    "Figure2Result",
+    "run_figure3",
+    "Figure3Result",
+    "DtrgSnapshot",
+    "run_deadlock_example",
+    "DeadlockOutcome",
+]

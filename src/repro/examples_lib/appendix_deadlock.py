@@ -1,0 +1,88 @@
+"""Appendix A — the racy future-reference program that can deadlock.
+
+The paper's example::
+
+    future<T> a = null, b = null;
+    async { a = async<T> { b.get(); ... };  /* F1 */ }
+    async { b = async<T> { a.get(); ... };  /* F2 */ }
+
+In a parallel execution F1 and F2 can wait on each other forever.  Appendix
+A proves such a deadlock requires a data race on the future *references*
+(here the shared variables ``a`` and ``b``), and that in the serial
+depth-first execution the program cannot block — instead F1 reads ``b``
+before it was ever written and trips on a null reference
+(:class:`~repro.runtime.errors.NullFutureError`, the paper's
+``NullPointerException``).
+
+Two modes:
+
+* ``defensive=False`` — faithful rendering: the depth-first execution
+  raises :class:`NullFutureError` from inside F1.
+* ``defensive=True`` — F1/F2 skip the ``get`` when the reference is still
+  null, letting the program complete so the detector can report the
+  underlying determinacy races on the reference cells ``a`` and ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.detector import DeterminacyRaceDetector
+from repro.memory.shared import SharedFutureCell
+from repro.runtime.errors import NullFutureError
+from repro.runtime.runtime import Runtime
+
+__all__ = ["DeadlockOutcome", "run_deadlock_example"]
+
+
+@dataclass
+class DeadlockOutcome:
+    detector: DeterminacyRaceDetector
+    null_future_error: Optional[NullFutureError]
+
+    @property
+    def deadlock_diagnosed(self) -> bool:
+        return self.null_future_error is not None
+
+
+def run_deadlock_example(
+    *, defensive: bool, extra_observers: Sequence = ()
+) -> DeadlockOutcome:
+    """Run the Appendix A program; see module docstring for modes."""
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det, *extra_observers])
+    cell_a = SharedFutureCell(rt, "a")
+    cell_b = SharedFutureCell(rt, "b")
+    caught: list = []
+
+    def guarded_get(cell: SharedFutureCell) -> None:
+        handle = cell.take()
+        if defensive:
+            if handle is not None:
+                handle.get()
+        else:
+            rt.get(handle)  # raises NullFutureError when handle is None
+
+    def program(rt: Runtime) -> None:
+        with rt.finish():
+
+            def async1() -> None:
+                f1 = rt.future(lambda: guarded_get(cell_b), name="F1")
+                cell_a.put(f1)
+
+            def async2() -> None:
+                f2 = rt.future(lambda: guarded_get(cell_a), name="F2")
+                cell_b.put(f2)
+
+            rt.async_(async1, name="async1")
+            rt.async_(async2, name="async2")
+
+    try:
+        rt.run(program)
+    except NullFutureError as exc:
+        caught.append(exc)
+    return DeadlockOutcome(
+        detector=det,
+        null_future_error=caught[0] if caught else None,
+    )

@@ -1,0 +1,116 @@
+"""Figure 1 — the paper's first example program, as runnable library code.
+
+The program (paper notation, Section 2)::
+
+    // Main task
+    Stmt1;
+    future<T> A = async<T> { StmtA };          // task T_A
+    Stmt2;
+    future<T> B = async<T> { Stmt3; A.get(); Stmt4; };   // task T_B
+    Stmt5;
+    future<T> C = async<T> { Stmt6; A.get(); Stmt7; B.get(); StmtC };  // T_C
+    Stmt8;
+    A.get();
+    Stmt9;
+    C.get();
+    Stmt10;
+
+(The paper's listing reuses the labels Stmt6/Stmt7 for both T_C and the
+main task — an obvious typo; we rename main's to Stmt8/Stmt9.)
+
+The text asserts: "Stmt3, Stmt6, and Stmt8 may execute in parallel with
+task T_A, while Stmt4, Stmt7, and Stmt9 can execute only after the
+completion of task T_A … Stmt10 can execute only after tasks T_A, T_B and
+T_C complete" (the T_B ordering being the *transitive* join through T_C).
+``tests/paper/test_figure1.py`` verifies every one of those relations on
+the recorded computation graph.
+
+Each statement is modeled as an instrumented read of a unique location
+``("stmt", name)`` so tests can locate its step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.events import ExecutionObserver
+from repro.memory.shared import SharedArray
+from repro.runtime.runtime import Runtime
+
+__all__ = ["Figure1Result", "run_figure1", "STATEMENTS"]
+
+#: All statement labels, in serial execution order.
+STATEMENTS = [
+    "Stmt1", "StmtA", "Stmt2", "Stmt3", "Stmt4", "Stmt5",
+    "Stmt6", "Stmt7", "StmtC", "Stmt8", "Stmt9", "Stmt10",
+]
+
+
+@dataclass
+class Figure1Result:
+    """Task ids of the four tasks plus the runtime that ran the program."""
+
+    runtime: Runtime
+    main_tid: int
+    a_tid: int
+    b_tid: int
+    c_tid: int
+
+
+def run_figure1(observers: Sequence[ExecutionObserver] = ()) -> Figure1Result:
+    """Execute the Figure 1 program with ``observers`` attached."""
+    rt = Runtime(observers=list(observers))
+    stmts = SharedArray(rt, "stmt_marks", len(STATEMENTS))
+    index: Dict[str, int] = {name: i for i, name in enumerate(STATEMENTS)}
+
+    def stmt(name: str) -> None:
+        stmts.read(index[name])
+
+    tids: Dict[str, int] = {}
+
+    def program(rt: Runtime) -> None:
+        tids["main"] = rt.current_task.tid
+        with rt.finish():
+            stmt("Stmt1")
+            a = rt.future(lambda: stmt("StmtA"), name="T_A")
+            tids["A"] = a.task.tid
+            stmt("Stmt2")
+
+            def body_b() -> None:
+                stmt("Stmt3")
+                a.get()
+                stmt("Stmt4")
+
+            b = rt.future(body_b, name="T_B")
+            tids["B"] = b.task.tid
+            stmt("Stmt5")
+
+            def body_c() -> None:
+                stmt("Stmt6")
+                a.get()
+                stmt("Stmt7")
+                b.get()
+                stmt("StmtC")
+
+            c = rt.future(body_c, name="T_C")
+            tids["C"] = c.task.tid
+            stmt("Stmt8")
+            a.get()
+            stmt("Stmt9")
+            c.get()
+            stmt("Stmt10")
+
+    rt.run(program)
+    return Figure1Result(
+        runtime=rt,
+        main_tid=tids["main"],
+        a_tid=tids["A"],
+        b_tid=tids["B"],
+        c_tid=tids["C"],
+    )
+
+
+def statement_location(name: str):
+    """Shared-memory location key of a statement marker."""
+    return ("stmt_marks", STATEMENTS.index(name))

@@ -1,0 +1,100 @@
+"""Figure 2 — example program with futures and its 12-step computation graph.
+
+The paper's Figure 2 is an image; its caption and the surrounding text pin
+down the structure we must reproduce:
+
+* tasks: main ``T_M`` plus future tasks ``T_A``, ``T_B``, ``T_C``, ``T_D``;
+* steps ``S1``-``S12`` numbered in serial depth-first execution order;
+* "S2 ⊀ S10 because there is no directed path from S2 to S10", and
+  "S2 ≺ S12 since there is a directed path";
+* "the join edge from S3 to S5 is a tree join since T_A is an ancestor of
+  T_B.  The edge from S5 to S8 is a non-tree join since T_C is not an
+  ancestor of T_A."
+
+The unique (up to irrelevant renaming) program consistent with all of that::
+
+    // T_M
+    S1
+    A = future { S2; B = future { S3 }; S4; B.get(); S5 }   // T_A, T_B
+    S6
+    C = future(A) { S7; A.get(); S8 }                        // T_C
+    S9
+    D = future { S10 }                                       // T_D
+    S11
+    C.get()
+    S12
+
+Depth-first execution visits the steps exactly in S1..S12 order, matching
+the paper's numbering.  ``tests/paper/test_figure2.py`` checks the step
+count, the edge classification, and both reachability claims;
+``examples/figure2_computation_graph.py`` renders the graph to DOT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.events import ExecutionObserver
+from repro.memory.shared import SharedArray
+from repro.runtime.runtime import Runtime
+
+__all__ = ["Figure2Result", "run_figure2", "step_location", "NUM_STEPS"]
+
+NUM_STEPS = 12
+
+
+@dataclass
+class Figure2Result:
+    runtime: Runtime
+    tids: Dict[str, int]  #: "M", "A", "B", "C", "D" -> task id
+
+
+def run_figure2(observers: Sequence[ExecutionObserver] = ()) -> Figure2Result:
+    """Execute the reconstructed Figure 2 program."""
+    rt = Runtime(observers=list(observers))
+    marks = SharedArray(rt, "S", NUM_STEPS + 1)
+    tids: Dict[str, int] = {}
+
+    def mark(i: int) -> None:
+        marks.read(i)
+
+    def program(rt: Runtime) -> None:
+        # The only finish is the implicit one around main (as in the paper);
+        # its closing join edges land in one terminal step after S12.
+        tids["M"] = rt.current_task.tid
+        mark(1)
+
+        def body_a() -> None:
+            mark(2)
+            b = rt.future(lambda: mark(3), name="T_B")
+            tids["B"] = b.task.tid
+            mark(4)
+            b.get()
+            mark(5)
+
+        a = rt.future(body_a, name="T_A")
+        tids["A"] = a.task.tid
+        mark(6)
+
+        def body_c() -> None:
+            mark(7)
+            a.get()
+            mark(8)
+
+        c = rt.future(body_c, name="T_C")
+        tids["C"] = c.task.tid
+        mark(9)
+        d = rt.future(lambda: mark(10), name="T_D")
+        tids["D"] = d.task.tid
+        mark(11)
+        c.get()
+        mark(12)
+
+    rt.run(program)
+    return Figure2Result(runtime=rt, tids=tids)
+
+
+def step_location(i: int):
+    """Location key of the marker access identifying step ``Si``."""
+    return ("S", i)

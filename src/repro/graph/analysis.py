@@ -1,0 +1,182 @@
+"""Computation-graph analyses: reachability, the race oracle, work/span.
+
+The oracle here is the "brute force approach … building the transitive
+closure of the happens-before relation" that Section 1 contrasts with the
+DTRG.  It is exact by construction, so the property tests use it as ground
+truth for Theorem 2 (the detector reports a race on a location iff the
+closure finds logically-parallel conflicting accesses there).
+
+Implementation: step ids are a topological order (see
+:mod:`repro.graph.computation_graph`), so the closure is computed in one
+reverse sweep with Python big-int bitsets — ``reach[i]`` has bit ``j`` set
+iff step ``i`` strictly precedes step ``j``.  Big-int OR is vectorized C
+machinery under the hood, which keeps the oracle usable on graphs with tens
+of thousands of steps (the HPC guides' "optimize the algorithm, then let the
+runtime's compiled paths do the work").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.graph.computation_graph import Access, ComputationGraph
+
+__all__ = [
+    "ReachabilityClosure",
+    "RacePair",
+    "find_races",
+    "racy_locations",
+    "work_and_span",
+    "max_logical_parallelism",
+]
+
+
+class ReachabilityClosure:
+    """Transitive closure of a computation graph over step ids."""
+
+    def __init__(self, graph: ComputationGraph) -> None:
+        n = graph.num_steps
+        reach: List[int] = [0] * n
+        succs = graph.successors
+        for i in range(n - 1, -1, -1):
+            mask = 0
+            for j in succs[i]:
+                mask |= (1 << j) | reach[j]
+            reach[i] = mask
+        self._reach = reach
+        self.graph = graph
+
+    def precedes(self, u: int, v: int) -> bool:
+        """True iff step ``u`` strictly precedes step ``v`` (``u ≺ v``)."""
+        return bool((self._reach[u] >> v) & 1)
+
+    def parallel(self, u: int, v: int) -> bool:
+        """True iff ``u ∥ v`` — distinct, with no path either way."""
+        return u != v and not self.precedes(u, v) and not self.precedes(v, u)
+
+    def descendants(self, u: int) -> Set[int]:
+        """All steps strictly reachable from ``u``."""
+        mask = self._reach[u]
+        out: Set[int] = set()
+        v = 0
+        while mask:
+            low = mask & -mask
+            out.add(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def task_precedes(self, a: int, b_step: int) -> bool:
+        """The DTRG query in oracle form: does *every step of task* ``a``
+        *that executed before* ``b_step`` precede ``b_step``?
+
+        "Executed before" is step-id order (serial depth-first execution).
+        Matches the on-the-fly semantics of the paper's ``PRECEDE(A, B)``
+        evaluated while ``b_step`` is the current step.
+        """
+        g = self.graph
+        for step in g.steps:
+            if step.task == a and step.sid < b_step:
+                if not self.precedes(step.sid, b_step):
+                    return False
+        return True
+
+
+@dataclass(frozen=True)
+class RacePair:
+    """One conflicting logically-parallel access pair found by the oracle."""
+
+    loc: Hashable
+    first: Access
+    second: Access
+
+    @property
+    def tasks(self) -> Tuple[int, int]:
+        return self.first.task, self.second.task
+
+
+def find_races(
+    graph: ComputationGraph,
+    closure: ReachabilityClosure | None = None,
+    max_pairs_per_loc: int | None = None,
+) -> List[RacePair]:
+    """Exhaustive race enumeration per Definition 3.
+
+    For every location, every pair of accesses with at least one write is
+    tested for logical parallelism.  ``max_pairs_per_loc`` caps the output
+    (not the search is still quadratic per location — acceptable for tests;
+    the detector exists precisely because this does not scale).
+    """
+    closure = closure or ReachabilityClosure(graph)
+    races: List[RacePair] = []
+    for loc, accesses in graph.accesses_by_loc.items():
+        found = 0
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1 :]:
+                if not (a.is_write or b.is_write):
+                    continue
+                if a.step == b.step:
+                    continue  # same step: ordered by program order
+                if closure.parallel(a.step, b.step):
+                    races.append(RacePair(loc=loc, first=a, second=b))
+                    found += 1
+                    if max_pairs_per_loc and found >= max_pairs_per_loc:
+                        break
+            if max_pairs_per_loc and found >= max_pairs_per_loc:
+                break
+    return races
+
+
+def racy_locations(
+    graph: ComputationGraph, closure: ReachabilityClosure | None = None
+) -> FrozenSet[Hashable]:
+    """Locations with at least one race — the Theorem 2 comparison set."""
+    closure = closure or ReachabilityClosure(graph)
+    out: Set[Hashable] = set()
+    for loc, accesses in graph.accesses_by_loc.items():
+        writes = [a for a in accesses if a.is_write]
+        if not writes:
+            continue
+        done = False
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1 :]:
+                if not (a.is_write or b.is_write):
+                    continue
+                if a.step != b.step and closure.parallel(a.step, b.step):
+                    out.add(loc)
+                    done = True
+                    break
+            if done:
+                break
+    return frozenset(out)
+
+
+def work_and_span(graph: ComputationGraph) -> Tuple[int, int]:
+    """Cilkview-style ``(work, span)`` with unit step weights.
+
+    ``work`` is the step count; ``span`` the longest path length in steps.
+    ``work/span`` bounds the program's available parallelism.
+    """
+    n = graph.num_steps
+    dist = [1] * n  # longest path ending at i, in steps
+    for i in range(n):
+        di = dist[i]
+        for j in graph.successors[i]:
+            if di + 1 > dist[j]:
+                dist[j] = di + 1
+    return n, (max(dist) if n else 0)
+
+
+def max_logical_parallelism(
+    graph: ComputationGraph, closure: ReachabilityClosure | None = None
+) -> int:
+    """Size of the largest antichain layer: max over steps of how many other
+    steps are logically parallel with it, plus one.  A cheap upper-bound
+    proxy (exact antichain is NP-ish in general); used by examples only."""
+    closure = closure or ReachabilityClosure(graph)
+    n = graph.num_steps
+    best = 1 if n else 0
+    for u in range(n):
+        count = sum(1 for v in range(n) if closure.parallel(u, v))
+        best = max(best, count + 1)
+    return best

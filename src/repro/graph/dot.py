@@ -1,0 +1,47 @@
+"""Graphviz DOT export of computation graphs.
+
+Used by the figure-reproduction examples to emit renderable versions of the
+paper's Figure 2/Figure 3 computation graphs.  Pure string generation — no
+graphviz dependency; pipe the output through ``dot -Tpng`` if available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.computation_graph import ComputationGraph, EdgeKind
+
+__all__ = ["to_dot"]
+
+_EDGE_STYLE = {
+    EdgeKind.CONTINUE: 'color="black"',
+    EdgeKind.SPAWN: 'color="blue", style=dashed',
+    EdgeKind.JOIN_TREE: 'color="forestgreen"',
+    EdgeKind.JOIN_NON_TREE: 'color="red", penwidth=2',
+}
+
+
+def to_dot(graph: ComputationGraph, title: str = "computation graph") -> str:
+    """Render the graph, clustering steps by task as in the paper's figures
+    (circles = steps, rectangles = task clusters)."""
+    lines: List[str] = [
+        "digraph G {",
+        f'  label="{title}";',
+        "  rankdir=TB;",
+        "  node [shape=circle, fontsize=10];",
+    ]
+    by_task: Dict[int, List[int]] = {}
+    for step in graph.steps:
+        by_task.setdefault(step.task, []).append(step.sid)
+    for tid, sids in by_task.items():
+        name = graph.task_names.get(tid, f"task{tid}")
+        lines.append(f"  subgraph cluster_{tid} {{")
+        lines.append(f'    label="{name}"; style=rounded;')
+        for sid in sids:
+            label = graph.steps[sid].label or f"S{sid}"
+            lines.append(f'    s{sid} [label="{label}"];')
+        lines.append("  }")
+    for src, dst, kind in graph.edges:
+        lines.append(f"  s{src} -> s{dst} [{_EDGE_STYLE[kind]}];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Experiment harness: structural metrics and the Table 2 generator.
+
+``runner``/``table2`` are imported lazily: they depend on the workload
+modules, which themselves use :mod:`repro.harness.metrics`, and an eager
+import here would close that cycle.
+"""
+
+from repro.harness.metrics import Metrics, MetricsCollector
+from repro.harness.report import render_table
+
+__all__ = [
+    "Metrics",
+    "MetricsCollector",
+    "render_table",
+    "BENCHMARKS",
+    "BenchmarkResult",
+    "run_benchmark",
+]
+
+_LAZY = {"BENCHMARKS", "BenchmarkResult", "run_benchmark"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.harness import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,127 @@
+"""Structural counters for the Table 2 columns.
+
+Table 2 reports, per benchmark:
+
+* ``#Tasks``      — dynamic tasks created (main excluded, as in the paper's
+  999,999 for Series which counts only the spawned tasks);
+* ``#NTJoins``    — "the subset of future get() operations that are
+  non-tree-joins", classified by the *definition* (Section 3): a join from
+  B to A is a tree join iff A is a spawn-tree ancestor of B;
+* ``#SharedMem``  — total instrumented shared-memory accesses;
+* ``#AvgReaders`` — mean shadow reader-set size at access time (this one
+  lives in :class:`~repro.core.shadow.ShadowMemory` because only the
+  detector has shadow state; the harness merges it in).
+
+:class:`MetricsCollector` is a passive observer — attaching it to a run
+without a detector measures the workload's structure at (near) zero cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.events import ExecutionObserver
+
+__all__ = ["Metrics", "MetricsCollector"]
+
+
+@dataclass
+class Metrics:
+    """Immutable snapshot of the structural counters."""
+
+    num_tasks: int = 0          #: spawned tasks (main excluded)
+    num_future_tasks: int = 0
+    num_async_tasks: int = 0
+    num_gets: int = 0
+    num_nt_joins: int = 0       #: gets whose consumer is not an ancestor
+    num_reads: int = 0
+    num_writes: int = 0
+    num_finish_scopes: int = 0  #: explicit scopes (root excluded)
+    max_live_depth: int = 0
+
+    @property
+    def num_shared_accesses(self) -> int:
+        return self.num_reads + self.num_writes
+
+    def as_row(self) -> Dict[str, int]:
+        return {
+            "#Tasks": self.num_tasks,
+            "#NTJoins": self.num_nt_joins,
+            "#SharedMem": self.num_shared_accesses,
+        }
+
+
+class MetricsCollector(ExecutionObserver):
+    """Counts tasks, joins (tree vs non-tree), and shared accesses."""
+
+    def __init__(self) -> None:
+        self.num_tasks = 0
+        self.num_future_tasks = 0
+        self.num_async_tasks = 0
+        self.num_gets = 0
+        self.num_nt_joins = 0
+        self.num_reads = 0
+        self.num_writes = 0
+        self.num_finish_scopes = 0
+        self.max_live_depth = 0
+        # parent map for the ancestor test (tid -> parent tid)
+        self._parent: Dict[int, Optional[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    def on_init(self, main) -> None:
+        self._parent[main.tid] = None
+
+    def on_task_create(self, parent, child) -> None:
+        self.num_tasks += 1
+        if child.is_future:
+            self.num_future_tasks += 1
+        else:
+            self.num_async_tasks += 1
+        self._parent[child.tid] = parent.tid
+        # Compute depth from our own parent map so replayed stand-in tasks
+        # (which carry no depth attribute) work too.
+        depth, node = 0, child.tid
+        while node is not None:
+            depth += 1
+            node = self._parent.get(node)
+        if depth - 1 > self.max_live_depth:
+            self.max_live_depth = depth - 1
+
+    def on_get(self, consumer, producer) -> None:
+        self.num_gets += 1
+        if not self._is_ancestor(consumer.tid, producer.tid):
+            self.num_nt_joins += 1
+
+    def on_finish_start(self, scope) -> None:
+        if scope.enclosing is not None:
+            self.num_finish_scopes += 1
+
+    def on_read(self, task, loc) -> None:
+        self.num_reads += 1
+
+    def on_write(self, task, loc) -> None:
+        self.num_writes += 1
+
+    # ------------------------------------------------------------------ #
+    def _is_ancestor(self, a: int, b: int) -> bool:
+        node = self._parent.get(b)
+        while node is not None:
+            if node == a:
+                return True
+            node = self._parent.get(node)
+        return False
+
+    def snapshot(self) -> Metrics:
+        """Freeze the counters into a :class:`Metrics` value."""
+        return Metrics(
+            num_tasks=self.num_tasks,
+            num_future_tasks=self.num_future_tasks,
+            num_async_tasks=self.num_async_tasks,
+            num_gets=self.num_gets,
+            num_nt_joins=self.num_nt_joins,
+            num_reads=self.num_reads,
+            num_writes=self.num_writes,
+            num_finish_scopes=self.num_finish_scopes,
+            max_live_depth=self.max_live_depth,
+        )

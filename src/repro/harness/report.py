@@ -1,0 +1,36 @@
+"""Plain-text table rendering for harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render dict rows as an aligned ASCII table (first row sets columns)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:,.2f}"
+            elif isinstance(value, int):
+                text = f"{value:,}"
+            else:
+                text = str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    lines = [" | ".join(c.ljust(widths[c]) for c in columns), sep]
+    for cells in rendered:
+        lines.append(
+            " | ".join(cell.rjust(widths[c]) for cell, c in zip(cells, columns))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Benchmark registry and single-benchmark execution for the harness.
+
+Maps the seven Table 2 rows to workload entry points and runs one row in
+the paper's three configurations:
+
+* ``Seq``          — serial elision, uninstrumented (paper's Seq column);
+* ``Instrumented`` — runtime + shared wrappers + metrics, *no* detector.
+  The paper's bytecode instrumentation is nearly free on the JVM; in
+  CPython the wrapper calls dominate, so we report this middle bar to keep
+  the ``Racedet/Instrumented`` ratio comparable to the paper's
+  ``Racedet/Seq`` (see EXPERIMENTS.md for the discussion);
+* ``Racedet``      — instrumentation + the determinacy race detector.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.harness.metrics import Metrics
+from repro.workloads import (
+    crypt_idea,
+    jacobi,
+    lufact,
+    nqueens,
+    reduce_tree,
+    series,
+    smith_waterman,
+    sor,
+    strassen,
+)
+from repro.workloads.common import run_instrumented
+
+__all__ = [
+    "BenchmarkDef",
+    "BenchmarkResult",
+    "BENCHMARKS",
+    "EXTENDED_BENCHMARKS",
+    "run_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkDef:
+    """One Table 2 row: names, entry points, verification."""
+
+    name: str
+    module: Any
+    parallel_entry: str  #: attribute name: "run_af" or "run_future"
+
+    def params(self, scale: str):
+        return self.module.default_params(scale)
+
+    def serial(self, params) -> Any:
+        return self.module.serial(params)
+
+    def parallel(self, rt, params) -> Any:
+        return getattr(self.module, self.parallel_entry)(rt, params)
+
+    def verify(self, params, result) -> None:
+        self.module.verify(params, result)
+
+
+#: The seven Table 2 rows, in the paper's order.
+BENCHMARKS: Dict[str, BenchmarkDef] = {
+    b.name: b
+    for b in [
+        BenchmarkDef("Series-af", series, "run_af"),
+        BenchmarkDef("Series-future", series, "run_future"),
+        BenchmarkDef("Crypt-af", crypt_idea, "run_af"),
+        BenchmarkDef("Crypt-future", crypt_idea, "run_future"),
+        BenchmarkDef("Jacobi", jacobi, "run_future"),
+        BenchmarkDef("Smith-Waterman", smith_waterman, "run_future"),
+        BenchmarkDef("Strassen", strassen, "run_future"),
+    ]
+}
+
+#: Extension rows (not part of the paper's Table 2): broaden the overhead
+#: picture — a second stencil, a fully strict search, a blocked LU, and
+#: the zero-shared-access functional extreme.
+EXTENDED_BENCHMARKS: Dict[str, BenchmarkDef] = {
+    b.name: b
+    for b in [
+        BenchmarkDef("SOR-af", sor, "run_af"),
+        BenchmarkDef("SOR-future", sor, "run_future"),
+        BenchmarkDef("NQueens", nqueens, "run_af"),
+        BenchmarkDef("LUFact", lufact, "run_future"),
+        BenchmarkDef("ReduceTree", reduce_tree, "run_future"),
+    ]
+}
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything the Table 2 row reports, plus the extra middle bar."""
+
+    name: str
+    scale: str
+    metrics: Metrics
+    avg_readers: float
+    seq_seconds: float
+    instrumented_seconds: float
+    racedet_seconds: float
+    races: int
+
+    @property
+    def slowdown_vs_seq(self) -> float:
+        """The paper's Slowdown column (Racedet / Seq)."""
+        return self.racedet_seconds / self.seq_seconds if self.seq_seconds else 0.0
+
+    @property
+    def slowdown_vs_instrumented(self) -> float:
+        """Detector-only slowdown (Racedet / Instrumented) — the CPython
+        analogue of the paper's ratio, with interpreter dispatch factored
+        out of the baseline."""
+        if not self.instrumented_seconds:
+            return 0.0
+        return self.racedet_seconds / self.instrumented_seconds
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "Benchmark": self.name,
+            "#Tasks": self.metrics.num_tasks,
+            "#NTJoins": self.metrics.num_nt_joins,
+            "#SharedMem": self.metrics.num_shared_accesses,
+            "#AvgReaders": round(self.avg_readers, 2),
+            "Seq (ms)": round(self.seq_seconds * 1e3, 1),
+            "Instr (ms)": round(self.instrumented_seconds * 1e3, 1),
+            "Racedet (ms)": round(self.racedet_seconds * 1e3, 1),
+            "Slowdown": round(self.slowdown_vs_seq, 2),
+            "Slowdown/Instr": round(self.slowdown_vs_instrumented, 2),
+        }
+
+
+def run_benchmark(
+    name: str,
+    scale: str = "small",
+    *,
+    repeats: int = 1,
+    verify: bool = True,
+) -> BenchmarkResult:
+    """Run one Table 2 row in all three configurations.
+
+    ``repeats`` keeps the best wall time per configuration (the paper uses
+    the mean of 10 in-JVM runs to dodge JIT warmup; CPython has no warmup,
+    so min-of-N suffices and is the conventional choice for interpreted
+    code).
+    """
+    bench = BENCHMARKS.get(name) or EXTENDED_BENCHMARKS[name]
+    params = bench.params(scale)
+
+    seq_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        bench.serial(params)
+        seq_best = min(seq_best, time.perf_counter() - start)
+
+    instr_best = float("inf")
+    metrics: Optional[Metrics] = None
+    for _ in range(repeats):
+        run = run_instrumented(
+            lambda rt: bench.parallel(rt, params), detect=False
+        )
+        instr_best = min(instr_best, run.wall_seconds)
+        metrics = run.metrics
+        if verify:
+            bench.verify(params, run.result)
+
+    det_best = float("inf")
+    avg_readers = 0.0
+    races = 0
+    for _ in range(repeats):
+        run = run_instrumented(
+            lambda rt: bench.parallel(rt, params), detect=True
+        )
+        det_best = min(det_best, run.wall_seconds)
+        avg_readers = run.avg_readers
+        races = len(run.races)
+        if verify:
+            bench.verify(params, run.result)
+
+    assert metrics is not None
+    return BenchmarkResult(
+        name=name,
+        scale=scale,
+        metrics=metrics,
+        avg_readers=avg_readers,
+        seq_seconds=seq_best,
+        instrumented_seconds=instr_best,
+        racedet_seconds=det_best,
+        races=races,
+    )

@@ -1,0 +1,17 @@
+"""Instrumented shared-memory wrappers and trace recording."""
+
+from repro.memory.shared import (
+    SharedArray,
+    SharedFutureCell,
+    SharedMatrix,
+    SharedNDArray,
+    SharedVar,
+)
+
+__all__ = [
+    "SharedVar",
+    "SharedArray",
+    "SharedNDArray",
+    "SharedMatrix",
+    "SharedFutureCell",
+]

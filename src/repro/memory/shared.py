@@ -1,0 +1,251 @@
+"""Instrumented shared-memory wrappers.
+
+The paper instruments HJ bytecode so that "reads and writes to shared memory
+locations" call into the race-detection library (Section 5: "all accesses to
+instance/static fields and array elements").  In Python we make the
+instrumentation explicit: workloads store shared state in the wrappers below,
+whose ``read``/``write`` methods report the access to the runtime's observers
+before touching the data.
+
+Location keys are ``(name, index...)`` tuples — stable across runs, hashable,
+and meaningful in race reports.
+
+Design notes (hot path):
+
+* Each wrapper caches ``runtime.record_read``/``record_write`` as bound
+  attributes; an element access is then two function calls (record + the
+  actual list/array indexing) with zero allocation beyond the key tuple.
+* :class:`SharedArray` is backed by a plain Python list (arbitrary element
+  types, e.g. future handles); numeric workloads can use numpy arrays *via*
+  the same interface with :class:`SharedNDArray`.
+* ``unchecked_*`` accessors bypass instrumentation for values the
+  programming model treats as task-private (e.g. reading a tile you just
+  computed inside the same task); workloads use them sparingly and only
+  where the paper's model would see a register, not shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+
+__all__ = [
+    "SharedVar",
+    "SharedArray",
+    "SharedNDArray",
+    "SharedMatrix",
+    "SharedFutureCell",
+]
+
+
+class SharedVar:
+    """One shared scalar location (an instance/static field in the paper)."""
+
+    __slots__ = ("_record_read", "_record_write", "key", "_value")
+
+    def __init__(self, runtime: "Runtime", name: str, value: Any = None) -> None:
+        self._record_read = runtime.record_read
+        self._record_write = runtime.record_write
+        self.key = (name,)
+        self._value = value
+
+    def read(self) -> Any:
+        """Instrumented read."""
+        self._record_read(self.key)
+        return self._value
+
+    def write(self, value: Any) -> None:
+        """Instrumented write."""
+        self._record_write(self.key)
+        self._value = value
+
+    def peek(self) -> Any:
+        """Uninstrumented read (verification/debugging only)."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<SharedVar {self.key[0]}={self._value!r}>"
+
+
+class SharedArray:
+    """A 1-D shared array backed by a Python list.
+
+    Every element is a distinct shared location ``(name, i)``.
+    """
+
+    __slots__ = ("_record_read", "_record_write", "name", "_data")
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        name: str,
+        init: Iterable[Any] | int,
+    ) -> None:
+        self._record_read = runtime.record_read
+        self._record_write = runtime.record_write
+        self.name = name
+        if isinstance(init, int):
+            self._data: List[Any] = [None] * init
+        else:
+            self._data = list(init)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def read(self, i: int) -> Any:
+        """Instrumented element read."""
+        self._record_read((self.name, i))
+        return self._data[i]
+
+    def write(self, i: int, value: Any) -> None:
+        """Instrumented element write."""
+        self._record_write((self.name, i))
+        self._data[i] = value
+
+    def peek(self, i: int) -> Any:
+        """Uninstrumented element read (verification only)."""
+        return self._data[i]
+
+    def to_list(self) -> List[Any]:
+        """Uninstrumented snapshot (verification only)."""
+        return list(self._data)
+
+    def __repr__(self) -> str:
+        return f"<SharedArray {self.name}[{len(self._data)}]>"
+
+
+class SharedNDArray:
+    """An n-D shared numpy array with per-element instrumentation.
+
+    Indexing is by tuple: ``a.read((i, j))``.  For tile-grained workloads
+    (Jacobi, Strassen, Smith-Waterman at tile level) prefer modeling each
+    tile as one location via :class:`SharedArray`/:class:`SharedMatrix` of
+    tile objects — the paper's benchmarks instrument *element* accesses, but
+    at Python speed a faithful per-element treatment is also provided and
+    used by the scaled benchmark configurations.
+    """
+
+    __slots__ = ("_record_read", "_record_write", "name", "data")
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        name: str,
+        shape_or_array,
+        dtype=np.float64,
+    ) -> None:
+        self._record_read = runtime.record_read
+        self._record_write = runtime.record_write
+        self.name = name
+        if isinstance(shape_or_array, np.ndarray):
+            self.data = shape_or_array
+        else:
+            self.data = np.zeros(shape_or_array, dtype=dtype)
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def read(self, idx) -> Any:
+        self._record_read((self.name, idx))
+        return self.data[idx]
+
+    def write(self, idx, value) -> None:
+        self._record_write((self.name, idx))
+        self.data[idx] = value
+
+    def read_block(self, slices, count: Optional[int] = None) -> np.ndarray:
+        """Instrumented block read: one record per element (or ``count``
+        coalesced records when the caller models coarser granularity), one
+        vectorized numpy read."""
+        view = self.data[slices]
+        n = view.size if count is None else count
+        rec = self._record_read
+        key = (self.name, _slice_key(slices))
+        for _ in range(n):
+            rec(key)
+        return view
+
+    def peek(self, idx) -> Any:
+        return self.data[idx]
+
+    def __repr__(self) -> str:
+        return f"<SharedNDArray {self.name}{self.data.shape}>"
+
+
+def _slice_key(slices) -> tuple:
+    """Stable hashable rendering of a slice tuple."""
+    if not isinstance(slices, tuple):
+        slices = (slices,)
+    out = []
+    for s in slices:
+        if isinstance(s, slice):
+            out.append(("slice", s.start, s.stop, s.step))
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+class SharedMatrix:
+    """A 2-D shared array of arbitrary objects, location per (row, col)."""
+
+    __slots__ = ("_record_read", "_record_write", "name", "rows", "cols", "_data")
+
+    def __init__(
+        self, runtime: "Runtime", name: str, rows: int, cols: int
+    ) -> None:
+        self._record_read = runtime.record_read
+        self._record_write = runtime.record_write
+        self.name = name
+        self.rows = rows
+        self.cols = cols
+        self._data: List[Any] = [None] * (rows * cols)
+
+    def read(self, r: int, c: int) -> Any:
+        self._record_read((self.name, r, c))
+        return self._data[r * self.cols + c]
+
+    def write(self, r: int, c: int, value: Any) -> None:
+        self._record_write((self.name, r, c))
+        self._data[r * self.cols + c] = value
+
+    def peek(self, r: int, c: int) -> Any:
+        return self._data[r * self.cols + c]
+
+    def __repr__(self) -> str:
+        return f"<SharedMatrix {self.name}[{self.rows}x{self.cols}]>"
+
+
+class SharedFutureCell:
+    """A shared location holding a future handle.
+
+    Section 5 observes that future-parallelized benchmarks perform extra
+    shared accesses precisely because "the reference to each future task must
+    be subjected to at least one write access (when the future task is
+    created) and one read access (when a get() operation is performed)".
+    Storing handles in these cells reproduces that accounting — and lets the
+    detector catch races on future references themselves, the root cause of
+    the Appendix A deadlock.
+    """
+
+    __slots__ = ("_var",)
+
+    def __init__(self, runtime: "Runtime", name: str) -> None:
+        self._var = SharedVar(runtime, name, None)
+
+    def put(self, handle) -> None:
+        """Publish a future handle (instrumented write)."""
+        self._var.write(handle)
+
+    def take(self):
+        """Fetch the handle (instrumented read); may be ``None`` if the
+        publishing write has not executed — the racy-deadlock situation."""
+        return self._var.read()
+
+    @property
+    def key(self):
+        return self._var.key

@@ -1,0 +1,180 @@
+"""Trace recording and replay.
+
+The paper measures detector overhead by running the same instrumented
+program with and without the race-detection library.  We additionally
+support *trace replay*: record the instrumentation event stream once, then
+feed it to any detector without re-executing the workload.  This isolates
+pure detector cost (the quantity Theorem 1 bounds) from workload cost, and
+it is how ``benchmarks/bench_detector_comparison.py`` compares our detector
+against SP-bags/ESP-bags/vector clocks on identical event streams.
+
+Replay synthesizes lightweight stand-ins for :class:`Task` and
+:class:`FinishScope` that carry exactly the attributes observers consume
+(``tid``, ``is_future``, ``parent``, ``ief``, ``name``, ``owner``,
+``joins``, ``enclosing``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.events import (
+    Event,
+    ExecutionObserver,
+    FinishEndEvent,
+    FinishStartEvent,
+    GetEvent,
+    ReadEvent,
+    TaskCreateEvent,
+    TaskEndEvent,
+    Trace,
+    WriteEvent,
+)
+
+__all__ = ["TraceRecorder", "replay_trace"]
+
+
+class TraceRecorder(ExecutionObserver):
+    """Observer that records the full event stream into a :class:`Trace`.
+
+    The implicit bracket (main task init/end, root finish start/end,
+    shutdown) is *not* recorded — :func:`replay_trace` re-synthesizes it, so
+    a recorded trace contains exactly the program's own events.
+    """
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def on_task_create(self, parent, child) -> None:
+        self.trace.append(
+            TaskCreateEvent(
+                parent=parent.tid,
+                child=child.tid,
+                is_future=child.is_future,
+                ief=child.ief.fid if child.ief is not None else -1,
+            )
+        )
+
+    def on_task_end(self, task) -> None:
+        if task.parent is None:
+            return  # main's end belongs to the implicit bracket
+        self.trace.append(TaskEndEvent(task=task.tid))
+
+    def on_get(self, consumer, producer) -> None:
+        self.trace.append(GetEvent(consumer=consumer.tid, producer=producer.tid))
+
+    def on_finish_start(self, scope) -> None:
+        if scope.enclosing is None:
+            return  # implicit root finish
+        self.trace.append(
+            FinishStartEvent(
+                fid=scope.fid,
+                owner=scope.owner.tid,
+                enclosing=scope.enclosing.fid if scope.enclosing else -1,
+            )
+        )
+
+    def on_finish_end(self, scope) -> None:
+        if scope.enclosing is None:
+            return  # implicit root finish
+        self.trace.append(FinishEndEvent(fid=scope.fid))
+
+    def on_read(self, task, loc) -> None:
+        self.trace.append(ReadEvent(task=task.tid, loc=loc))
+
+    def on_write(self, task, loc) -> None:
+        self.trace.append(WriteEvent(task=task.tid, loc=loc))
+
+
+class _ReplayTask:
+    """Duck-typed :class:`~repro.runtime.task.Task` stand-in."""
+
+    __slots__ = ("tid", "is_future", "parent", "ief", "name")
+
+    def __init__(self, tid: int, is_future: bool, parent, ief) -> None:
+        self.tid = tid
+        self.is_future = is_future
+        self.parent = parent
+        self.ief = ief
+        self.name = f"{'future' if is_future else 'task'}#{tid}"
+
+
+class _ReplayScope:
+    """Duck-typed :class:`~repro.runtime.finish.FinishScope` stand-in."""
+
+    __slots__ = ("fid", "owner", "enclosing", "joins")
+
+    def __init__(self, fid: int, owner, enclosing) -> None:
+        self.fid = fid
+        self.owner = owner
+        self.enclosing = enclosing
+        self.joins: List[_ReplayTask] = []
+
+
+def replay_trace(
+    trace: Trace | Iterable[Event],
+    observers: Sequence[ExecutionObserver],
+) -> None:
+    """Feed a recorded event stream to ``observers``.
+
+    The replay re-synthesizes the implicit bracket that
+    :meth:`Runtime.run` emits: the main task and the root finish at the
+    start; root finish end, main's task end, and shutdown at the end.
+    """
+    main = _ReplayTask(0, is_future=False, parent=None, ief=None)
+    root = _ReplayScope(0, owner=main, enclosing=None)
+    tasks: Dict[int, _ReplayTask] = {0: main}
+    scopes: Dict[int, _ReplayScope] = {0: root}
+
+    for ob in observers:
+        ob.on_init(main)
+    for ob in observers:
+        ob.on_finish_start(root)
+
+    for event in trace:
+        if isinstance(event, ReadEvent):
+            task = tasks[event.task]
+            for ob in observers:
+                ob.on_read(task, event.loc)
+        elif isinstance(event, WriteEvent):
+            task = tasks[event.task]
+            for ob in observers:
+                ob.on_write(task, event.loc)
+        elif isinstance(event, TaskCreateEvent):
+            parent = tasks[event.parent]
+            ief = scopes[event.ief] if event.ief >= 0 else None
+            child = _ReplayTask(event.child, event.is_future, parent, ief)
+            tasks[event.child] = child
+            if ief is not None:
+                ief.joins.append(child)
+            for ob in observers:
+                ob.on_task_create(parent, child)
+        elif isinstance(event, TaskEndEvent):
+            task = tasks[event.task]
+            for ob in observers:
+                ob.on_task_end(task)
+        elif isinstance(event, GetEvent):
+            consumer, producer = tasks[event.consumer], tasks[event.producer]
+            for ob in observers:
+                ob.on_get(consumer, producer)
+        elif isinstance(event, FinishStartEvent):
+            owner = tasks[event.owner]
+            enclosing: Optional[_ReplayScope] = (
+                scopes[event.enclosing] if event.enclosing >= 0 else None
+            )
+            scope = _ReplayScope(event.fid, owner, enclosing)
+            scopes[event.fid] = scope
+            for ob in observers:
+                ob.on_finish_start(scope)
+        elif isinstance(event, FinishEndEvent):
+            scope = scopes[event.fid]
+            for ob in observers:
+                ob.on_finish_end(scope)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event {event!r}")
+
+    for ob in observers:
+        ob.on_finish_end(root)
+    for ob in observers:
+        ob.on_task_end(main)
+        ob.on_shutdown(main)

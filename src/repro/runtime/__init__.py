@@ -1,0 +1,41 @@
+"""Serial depth-first async/finish/future runtime (Section 2 model), plus
+the parallel-execution analyses built on recorded computation graphs."""
+
+from repro.runtime.accumulator import Accumulator
+from repro.runtime.depends import DependsTaskGroup
+from repro.runtime.errors import (
+    NullFutureError,
+    RaceError,
+    ReproError,
+    RuntimeStateError,
+    UnsupportedConstructError,
+)
+from repro.runtime.finish import FinishScope
+from repro.runtime.future import FutureHandle
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import Task, TaskKind
+from repro.runtime.workstealing import (
+    ScheduleStats,
+    WorkStealingSimulator,
+    greedy_schedule,
+    speedup_curve,
+)
+
+__all__ = [
+    "Runtime",
+    "Task",
+    "TaskKind",
+    "FinishScope",
+    "FutureHandle",
+    "DependsTaskGroup",
+    "Accumulator",
+    "ScheduleStats",
+    "WorkStealingSimulator",
+    "greedy_schedule",
+    "speedup_curve",
+    "ReproError",
+    "RuntimeStateError",
+    "NullFutureError",
+    "RaceError",
+    "UnsupportedConstructError",
+]

@@ -1,0 +1,118 @@
+"""Accumulators — Habanero's race-free reduction primitive.
+
+The NQueens test suite shows the textbook bug: parallel tasks incrementing
+one shared counter.  Habanero-Java's answer is the *accumulator*: a
+reduction cell registered with a finish scope; any task inside the scope
+may ``put`` values; the combined result becomes readable only after the
+scope closes.  Because ``put`` is part of the synchronization layer — not a
+shared-memory access — a correct implementation is determinate by
+construction (for commutative-associative operators) and the race detector
+has nothing to flag.
+
+Implementation: per-task partial results (each task touches only its own
+slot — in a real parallel runtime these would be worker-local), folded in
+task-creation order when the owning scope ends.  Folding in a fixed
+(task-id) order makes the result deterministic even for merely associative
+operators, mirroring HJ's deterministic reduction mode.
+
+Usage::
+
+    with rt.finish() as scope:
+        acc = Accumulator(rt, scope, op=operator.add, identity=0)
+        for i in range(n):
+            rt.async_(lambda i=i: acc.put(score(i)))
+    total = acc.get()   # only legal after the finish closed
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.errors import RuntimeStateError
+
+__all__ = ["Accumulator"]
+
+
+class Accumulator:
+    """A finish-scoped reduction cell.
+
+    Parameters
+    ----------
+    runtime:
+        The owning runtime (used to identify the putting task).
+    scope:
+        The finish scope this accumulator is registered to.  ``get`` is
+        legal only after the scope has closed; ``put`` only while it is
+        open and only from the owner or tasks spawned within it.
+    op:
+        Binary combine function (commutative+associative for full
+        schedule-independence; associative suffices for determinism here
+        because partials fold in task-id order).
+    identity:
+        The reduction identity.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        scope,
+        op: Callable[[Any, Any], Any],
+        identity: Any,
+    ) -> None:
+        if scope.closed:
+            raise RuntimeStateError(
+                "cannot register an accumulator with a closed finish"
+            )
+        self._rt = runtime
+        self._scope = scope
+        self._op = op
+        self._identity = identity
+        self._partials: Dict[int, Any] = {}
+        self._result: Optional[Any] = None
+        self._folded = False
+
+    def put(self, value: Any) -> None:
+        """Contribute ``value`` from the current task.
+
+        Accumulates into the task's private partial — no shared location is
+        touched, so parallel puts cannot race (and the detector, correctly,
+        stays silent).
+        """
+        if self._scope.closed:
+            raise RuntimeStateError(
+                "accumulator.put() after the owning finish closed"
+            )
+        task = self._rt.current_task
+        if task is None:
+            raise RuntimeStateError("accumulator.put() outside a program")
+        tid = task.tid
+        if tid in self._partials:
+            self._partials[tid] = self._op(self._partials[tid], value)
+        else:
+            self._partials[tid] = value
+
+    def get(self) -> Any:
+        """The combined result; legal only after the owning finish closed.
+
+        Folds the per-task partials in task-id (= spawn) order, which is
+        schedule-independent, so the value is deterministic whenever ``op``
+        is associative.
+        """
+        if not self._scope.closed:
+            raise RuntimeStateError(
+                "accumulator.get() before the owning finish closed — the "
+                "reduction is not complete (this would be a determinacy "
+                "leak, the accumulator equivalent of a data race)"
+            )
+        if not self._folded:
+            result = self._identity
+            for tid in sorted(self._partials):
+                result = self._op(result, self._partials[tid])
+            self._result = result
+            self._folded = True
+        return self._result
+
+    @property
+    def num_contributors(self) -> int:
+        """How many distinct tasks have put values so far."""
+        return len(self._partials)

@@ -1,0 +1,103 @@
+"""OpenMP-style task dependences lowered onto futures.
+
+Section 5 explains how Jacobi and Strassen were obtained: "The original
+versions of these benchmarks used the OpenMP 4.0 ``depends`` clause, in
+which tasks specify data dependence using ``in``, ``out`` and ``inout``
+clauses.  The translated versions of these benchmarks used future as the
+main parallel construct, with ``get()`` operations used to synchronize with
+previously data dependent tasks."
+
+:class:`DependsTaskGroup` packages that translation as a reusable layer: a
+task declares the abstract locations it reads (``in_``) and writes
+(``out``/``inout``); the group computes which previously-submitted sibling
+tasks it must wait for and prepends the corresponding ``get()`` calls to its
+body.  Because the waits run *inside* the spawned future, the resulting join
+edges are sibling-to-sibling — exactly the non-tree joins that distinguish
+this paper's detector from the async-finish family.
+
+Dependence rules (serializing semantics of OpenMP 4.0):
+
+* ``in``    — waits for the last task that declared the location ``out``;
+* ``out``/``inout`` — waits for the last writer *and* every reader that
+  declared ``in`` on the location since that writer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Iterable, List
+
+from repro.runtime.future import FutureHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+
+__all__ = ["DependsTaskGroup"]
+
+
+class DependsTaskGroup:
+    """A group of sibling tasks ordered by declared data dependences."""
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self._rt = runtime
+        self._last_writer: Dict[Hashable, FutureHandle] = {}
+        self._readers_since_write: Dict[Hashable, List[FutureHandle]] = {}
+        self._all: List[FutureHandle] = []
+
+    def task(
+        self,
+        body: Callable[..., Any],
+        *args: Any,
+        in_: Iterable[Hashable] = (),
+        out: Iterable[Hashable] = (),
+        inout: Iterable[Hashable] = (),
+        name: str | None = None,
+        **kwargs: Any,
+    ) -> FutureHandle:
+        """Submit ``body`` with the given dependence clauses.
+
+        Returns the future so callers can also join explicitly.  Dependences
+        are deduplicated while preserving first-wait order.
+        """
+        reads = list(in_) + list(inout)
+        writes = list(out) + list(inout)
+        deps: List[FutureHandle] = []
+        seen: set = set()
+
+        def want(handle: FutureHandle | None) -> None:
+            if handle is not None and id(handle) not in seen:
+                seen.add(id(handle))
+                deps.append(handle)
+
+        for loc in reads:
+            want(self._last_writer.get(loc))
+        for loc in writes:
+            want(self._last_writer.get(loc))
+            for reader in self._readers_since_write.get(loc, ()):
+                want(reader)
+
+        def wrapper() -> Any:
+            for dep in deps:
+                dep.get()
+            return body(*args, **kwargs)
+
+        handle = self._rt.future(wrapper, name=name)
+        for loc in reads:
+            self._readers_since_write.setdefault(loc, []).append(handle)
+        for loc in writes:
+            self._last_writer[loc] = handle
+            self._readers_since_write[loc] = []
+        self._all.append(handle)
+        return handle
+
+    def wait_all(self) -> None:
+        """Join every submitted task (an OpenMP ``taskwait`` over the group).
+
+        The calling task performs the gets, so these joins are tree joins
+        when the caller created the tasks — the group's internal
+        synchronization stays purely point-to-point.
+        """
+        for handle in self._all:
+            handle.get()
+
+    def __len__(self) -> int:
+        return len(self._all)

@@ -1,0 +1,52 @@
+"""Runtime and detector error types.
+
+Appendix A of the paper shows that, for async/finish/future programs, a
+deadlock can only arise from a data race on a *future reference*: in the
+serial depth-first execution such a program does not block — it instead reads
+a reference that has not yet been written (the Java version would raise a
+``NullPointerException``).  :class:`NullFutureError` is our rendering of that
+diagnostic; the race detector independently flags the underlying race on the
+shared reference cell.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RuntimeStateError",
+    "NullFutureError",
+    "RaceError",
+    "UnsupportedConstructError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RuntimeStateError(ReproError):
+    """A runtime API was used outside a running program, or misused
+    (e.g. ``finish`` exited out of order, ``get`` outside any task)."""
+
+
+class NullFutureError(ReproError):
+    """``get()`` was performed on a missing/null future reference.
+
+    In the serial depth-first execution this is how would-be deadlocks of the
+    parallel program manifest (Appendix A): the reference assignment raced
+    with the read and the depth-first schedule ordered the read first.
+    """
+
+
+class RaceError(ReproError):
+    """Raised by a detector configured with the ``raise`` policy when the
+    first determinacy race is found.  Carries the :class:`repro.core.races.Race`."""
+
+    def __init__(self, race) -> None:
+        super().__init__(str(race))
+        self.race = race
+
+
+class UnsupportedConstructError(ReproError):
+    """A baseline detector observed a construct outside its model
+    (e.g. SP-bags seeing a future ``get``, ESP-bags seeing a non-tree join)."""

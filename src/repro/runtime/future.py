@@ -1,0 +1,59 @@
+"""First-class future handles.
+
+``future<T> f = async<T> Expr;`` creates a child task evaluating ``Expr`` and
+binds ``f`` to a handle on it; ``f.get()`` blocks until the task completes and
+returns its value (Section 2).  Unlike async tasks, a future may be joined by
+*any* task that holds the handle, and by many tasks — this is what produces
+non-tree join edges and non-strict computation graphs.
+
+Under the serial depth-first execution the child has always completed by the
+time any ``get()`` can run, so ``get()`` never blocks; it still routes through
+the runtime so every observer (race detector, graph builder, metrics) sees
+the join edge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generic, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.task import Task
+
+__all__ = ["FutureHandle"]
+
+T = TypeVar("T")
+
+
+class FutureHandle(Generic[T]):
+    """Handle to a future task, supporting repeated ``get()`` by any task."""
+
+    __slots__ = ("_runtime", "task")
+
+    def __init__(self, runtime: "Runtime", task: "Task") -> None:
+        self._runtime = runtime
+        self.task = task
+
+    def get(self) -> T:
+        """Return the future task's value, recording a join edge.
+
+        Every call — including repeated calls from the same task — is routed
+        to the runtime's observers: the detector's Algorithm 4 decides
+        per-call whether the join is a tree join (disjoint-set merge) or a
+        non-tree join (predecessor-list insertion), and repeated gets are
+        cheap no-ops once the producer is already in the consumer's set.
+        """
+        return self._runtime._on_get(self)
+
+    @property
+    def done(self) -> bool:
+        """Whether the producing task has completed.
+
+        Always true after creation under depth-first execution; exposed for
+        API parity with conventional future libraries and used by the
+        schedule simulator.
+        """
+        return self.task.completed
+
+    def __repr__(self) -> str:
+        return f"<FutureHandle of {self.task.name}>"

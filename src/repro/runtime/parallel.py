@@ -1,0 +1,235 @@
+"""Parallel-schedule simulation over computation graphs.
+
+CPython's GIL prevents truly concurrent bytecodes, so we demonstrate the
+paper's determinacy results (Appendix A.3) the way Definition 3 quantifies
+them — over *all possible executions for a given input*: every parallel
+execution's observable memory behaviour corresponds to some linear extension
+of the computation graph's partial order.  This module samples and
+constructs such extensions and evaluates their memory outcomes:
+
+* the **final writer** of each location (functional determinism of final
+  state), and
+* the **writer seen by every read** (dag-consistency of intermediate
+  values).
+
+For race-free programs every extension yields identical outcomes (the
+Determinism Property); for a program with a race on location ``l``,
+:func:`demonstrate_nondeterminism` constructs two concrete schedules whose
+outcomes differ on ``l`` — turning each race report into an executable
+witness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.analysis import ReachabilityClosure
+from repro.graph.computation_graph import ComputationGraph
+
+__all__ = [
+    "MemoryOutcome",
+    "schedule_outcome",
+    "random_linear_extension",
+    "extension_preferring",
+    "sample_outcomes",
+    "is_determinate",
+    "demonstrate_nondeterminism",
+]
+
+
+@dataclass(frozen=True)
+class MemoryOutcome:
+    """Observable memory behaviour of one schedule.
+
+    ``final_writer[loc]`` is the step id of the last write to ``loc`` (or
+    ``None``); ``read_sees[i]`` is, for the ``i``-th read in the graph's
+    per-location access logs (flattened in (loc, index) order), the step id
+    of the write it observed (``None`` = initial value).
+    """
+
+    final_writer: Tuple[Tuple[Hashable, Optional[int]], ...]
+    read_sees: Tuple[Tuple[Hashable, int, Optional[int]], ...]
+
+    def differs_from(self, other: "MemoryOutcome") -> List[str]:
+        """Human-readable list of observable differences."""
+        diffs = []
+        for (loc_a, w_a), (loc_b, w_b) in zip(self.final_writer, other.final_writer):
+            if w_a != w_b:
+                diffs.append(f"final value of {loc_a!r}: step {w_a} vs {w_b}")
+        for (loc_a, i, s_a), (_, _, s_b) in zip(self.read_sees, other.read_sees):
+            if s_a != s_b:
+                diffs.append(f"read #{i} of {loc_a!r} sees write {s_a} vs {s_b}")
+        return diffs
+
+
+def _check_extension(graph: ComputationGraph, order: Sequence[int]) -> None:
+    pos = {sid: i for i, sid in enumerate(order)}
+    if len(pos) != graph.num_steps:
+        raise ValueError("order must be a permutation of all steps")
+    for src, dst, _ in graph.edges:
+        if pos[src] > pos[dst]:
+            raise ValueError(f"order violates edge {src} -> {dst}")
+
+
+def schedule_outcome(
+    graph: ComputationGraph, order: Sequence[int], *, validate: bool = True
+) -> MemoryOutcome:
+    """Evaluate the memory outcome of executing steps in ``order``.
+
+    Writes are modeled as unique tokens (their step ids): two schedules have
+    observably identical behaviour iff every location's final token and
+    every read's observed token match.
+    """
+    if validate:
+        _check_extension(graph, order)
+    pos = {sid: i for i, sid in enumerate(order)}
+    final: List[Tuple[Hashable, Optional[int]]] = []
+    sees: List[Tuple[Hashable, int, Optional[int]]] = []
+    for loc in sorted(graph.accesses_by_loc, key=repr):
+        accesses = graph.accesses_by_loc[loc]
+        # Execution order of this location's accesses under the schedule.
+        ordered = sorted(accesses, key=lambda a: pos[a.step])
+        last_write: Optional[int] = None
+        read_index = 0
+        by_original = {id(a): i for i, a in enumerate(accesses)}
+        for acc in ordered:
+            if acc.is_write:
+                last_write = acc.step
+            else:
+                sees.append((loc, by_original[id(acc)], last_write))
+                read_index += 1
+        final.append((loc, last_write))
+    sees.sort(key=lambda t: (repr(t[0]), t[1]))
+    return MemoryOutcome(final_writer=tuple(final), read_sees=tuple(sees))
+
+
+def random_linear_extension(
+    graph: ComputationGraph, rng: random.Random
+) -> List[int]:
+    """A uniformly-randomized (not uniformly-distributed) topological order:
+    Kahn's algorithm choosing uniformly among currently-ready steps — the
+    standard model of an adversarial parallel scheduler."""
+    indeg = [len(p) for p in graph.predecessors]
+    ready = [i for i, d in enumerate(indeg) if d == 0]
+    order: List[int] = []
+    while ready:
+        idx = rng.randrange(len(ready))
+        ready[idx], ready[-1] = ready[-1], ready[idx]
+        step = ready.pop()
+        order.append(step)
+        for succ in graph.successors[step]:
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+    if len(order) != graph.num_steps:
+        raise ValueError("computation graph contains a cycle")
+    return order
+
+
+def extension_preferring(
+    graph: ComputationGraph, first: int, then: int
+) -> List[int]:
+    """A linear extension scheduling step ``first`` before step ``then``.
+
+    Requires ``first ∥ then`` (or ``first ≺ then``); realized with Kahn's
+    algorithm that defers ``then`` while anything else is ready.
+    """
+    indeg = [len(p) for p in graph.predecessors]
+    heap = [i for i, d in enumerate(indeg) if d == 0]
+    # Priority: the deferred step sorts last; everything else by id.
+    key = lambda s: (1, s) if s == then else (0, s)
+    heap = [(key(s), s) for s in heap]
+    heapq.heapify(heap)
+    # Deferring `then` suffices: if `then` ever becomes the only ready step
+    # before `first` ran, every unemitted step (including `first`) would be
+    # a descendant of `then`, contradicting `first ∥ then`.
+    order: List[int] = []
+    while heap:
+        _, step = heapq.heappop(heap)
+        order.append(step)
+        for succ in graph.successors[step]:
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                heapq.heappush(heap, (key(succ), succ))
+    if len(order) != graph.num_steps:
+        raise ValueError("computation graph contains a cycle")
+    pos = {s: i for i, s in enumerate(order)}
+    if pos[first] > pos[then]:
+        raise ValueError(
+            f"no linear extension puts {first} before {then}: {then} ≺ {first}"
+        )
+    return order
+
+
+def sample_outcomes(
+    graph: ComputationGraph,
+    *,
+    samples: int = 20,
+    seed: int = 0,
+) -> List[MemoryOutcome]:
+    """Outcomes of ``samples`` randomly scheduled executions."""
+    rng = random.Random(seed)
+    return [
+        schedule_outcome(graph, random_linear_extension(graph, rng), validate=False)
+        for _ in range(samples)
+    ]
+
+
+def is_determinate(
+    graph: ComputationGraph,
+    *,
+    samples: int = 20,
+    seed: int = 0,
+) -> bool:
+    """True if every sampled schedule yields the same observable outcome.
+
+    A ``True`` answer is evidence, not proof (sampling); ``False`` is a
+    definite witness of nondeterminism.  Race-free programs are guaranteed
+    ``True`` by the Determinism Property — the property tests check that.
+    """
+    outcomes = sample_outcomes(graph, samples=samples, seed=seed)
+    return all(o == outcomes[0] for o in outcomes[1:])
+
+
+def demonstrate_nondeterminism(
+    graph: ComputationGraph,
+    loc: Hashable,
+    closure: Optional[ReachabilityClosure] = None,
+) -> Optional[Tuple[MemoryOutcome, MemoryOutcome]]:
+    """Construct two schedules with observably different behaviour on
+    ``loc``, if a race on ``loc`` permits it.
+
+    Finds each logically-parallel conflicting pair and schedules it both
+    ways.  Returns ``None`` when no pair produces an observable difference —
+    which can legitimately happen even for unique write tokens: racing
+    writes may both be masked by a later, ordered write and never read.
+    This is the paper's "racy, yet determinate" caveat (Section 3) made
+    executable.
+    """
+    closure = closure or ReachabilityClosure(graph)
+    accesses = graph.accesses_by_loc.get(loc, [])
+
+    def loc_view(outcome: MemoryOutcome):
+        final = dict(outcome.final_writer).get(loc)
+        reads = tuple(
+            entry for entry in outcome.read_sees if entry[0] == loc
+        )
+        return final, reads
+
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1 :]:
+            if not (a.is_write or b.is_write):
+                continue
+            if a.step != b.step and closure.parallel(a.step, b.step):
+                order_ab = extension_preferring(graph, a.step, b.step)
+                order_ba = extension_preferring(graph, b.step, a.step)
+                out_ab = schedule_outcome(graph, order_ab, validate=False)
+                out_ba = schedule_outcome(graph, order_ba, validate=False)
+                # The two extensions may also reorder unrelated parallel
+                # steps; only a difference *on loc* counts as a witness.
+                if loc_view(out_ab) != loc_view(out_ba):
+                    return out_ab, out_ba
+    return None

@@ -1,0 +1,123 @@
+"""Dynamic task instances for the async/finish/future programming model.
+
+Section 2 of the paper: a *task* is a dynamic instance created by ``async``
+(fire-and-forget), by ``async<T>`` (future task, returning a value through a
+handle), or the implicit *main* task.  Every task has
+
+* a unique parent in the **spawn tree** (except main),
+* an **Immediately Enclosing Finish** (IEF): the innermost ``finish`` scope
+  dynamically active at its spawn; the implicit finish around ``main()``
+  guarantees every task has one,
+* for future tasks, a return value retrievable via
+  :class:`repro.runtime.future.FutureHandle.get`.
+
+Tasks here are *descriptions plus bookkeeping*; execution order is owned by
+:class:`repro.runtime.runtime.Runtime`, which runs the program in serial
+depth-first order (the order the paper's detector requires).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.finish import FinishScope
+
+__all__ = ["Task", "TaskKind"]
+
+
+class TaskKind(enum.Enum):
+    """The three task flavors of the programming model."""
+
+    MAIN = "main"      #: the implicit root task
+    ASYNC = "async"    #: fire-and-forget; joined only via its IEF
+    FUTURE = "future"  #: returns a value; joined via get() and via its IEF
+
+    def __repr__(self) -> str:
+        return f"TaskKind.{self.name}"
+
+
+class Task:
+    """One dynamic task instance.
+
+    Attributes
+    ----------
+    tid:
+        Dense integer id in spawn (= serial depth-first preorder) order.
+        The main task has ``tid == 0``.
+    kind:
+        :class:`TaskKind` of this instance.
+    parent:
+        Spawn-tree parent (``None`` for main).
+    ief:
+        The task's Immediately Enclosing Finish scope (``None`` only for
+        main, whose IEF is the implicit root finish created by the runtime).
+    name:
+        Optional human-readable label used in race reports and DOT dumps.
+    depth:
+        Spawn-tree depth (main is 0); handy for tests and metrics.
+    """
+
+    __slots__ = (
+        "tid",
+        "kind",
+        "parent",
+        "ief",
+        "name",
+        "depth",
+        "value",
+        "exception",
+        "completed",
+        "num_children",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        kind: TaskKind,
+        parent: Optional["Task"],
+        ief: Optional["FinishScope"],
+        name: Optional[str] = None,
+    ) -> None:
+        self.tid = tid
+        self.kind = kind
+        self.parent = parent
+        self.ief = ief
+        self.name = name or f"{kind.value}#{tid}"
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self.completed = False
+        self.num_children = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_future(self) -> bool:
+        """True iff this is a future task (the detector's ``IsFuture``)."""
+        return self.kind is TaskKind.FUTURE
+
+    @property
+    def is_main(self) -> bool:
+        return self.kind is TaskKind.MAIN
+
+    def is_ancestor_of(self, other: "Task") -> bool:
+        """True iff ``self`` is a proper ancestor of ``other`` in the spawn
+        tree.  O(depth) pointer chase — used by tests and baselines, not by
+        the DTRG (which answers this in O(1) via interval labels)."""
+        node = other.parent
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+    def ancestors(self):
+        """Yield proper ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} tid={self.tid}>"

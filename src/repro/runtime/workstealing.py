@@ -1,0 +1,255 @@
+"""Multiprocessor scheduling simulation over computation graphs.
+
+The paper's testbed is a 16-core machine, but its detector runs on a
+1-processor depth-first execution; the *parallel* behaviour of the analyzed
+programs lives entirely in their computation graphs.  This module closes
+that loop: given a recorded graph it simulates executing the steps on ``p``
+workers, yielding makespans, speedup curves and scheduler statistics — the
+Cilk-style performance model (work/span/parallelism) that motivates using
+futures over barriers in the first place (the §5 remark that Jacobi-style
+dependences "cannot be represented using only async-finish constructs
+without loss of parallelism" becomes a measurable speedup gap here, see
+``benchmarks/bench_speedup.py``).
+
+Two schedulers:
+
+* :func:`greedy_schedule` — level-synchronized greedy list scheduling: at
+  every time unit all ``p`` workers grab ready steps.  Satisfies Brent's
+  bound ``T_p <= T_1/p + T_inf`` (property-tested).
+* :class:`WorkStealingSimulator` — randomized work stealing with per-worker
+  LIFO deques and random-victim steals, the Blumofe-Leiserson model the
+  Habanero/Cilk runtimes implement.  Reports steal counts.
+
+Step weights default to ``1 + number of recorded shared accesses`` so
+access-heavy steps take proportionally longer; pass ``unit_weights=True``
+for pure step counting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.computation_graph import ComputationGraph
+
+__all__ = [
+    "ScheduleStats",
+    "step_weights",
+    "greedy_schedule",
+    "WorkStealingSimulator",
+    "speedup_curve",
+]
+
+
+def step_weights(
+    graph: ComputationGraph, unit_weights: bool = False
+) -> List[int]:
+    """Per-step execution costs."""
+    if unit_weights:
+        return [1] * graph.num_steps
+    return [1 + len(step.accesses) for step in graph.steps]
+
+
+@dataclass
+class ScheduleStats:
+    """Outcome of one simulated parallel execution."""
+
+    workers: int
+    makespan: int            #: simulated time units
+    work: int                #: sum of step weights (T_1)
+    span: int                #: critical-path weight (T_inf)
+    busy: int                #: worker-time units spent executing
+    steals: int = 0          #: successful steals (work stealing only)
+    failed_steals: int = 0
+
+    @property
+    def speedup(self) -> float:
+        return self.work / self.makespan if self.makespan else 0.0
+
+    @property
+    def utilization(self) -> float:
+        total = self.makespan * self.workers
+        return self.busy / total if total else 0.0
+
+    def satisfies_brent_bound(self) -> bool:
+        """``T_p <= ceil(T_1/p) + T_inf`` (greedy-scheduler guarantee)."""
+        import math
+
+        return self.makespan <= math.ceil(self.work / self.workers) + self.span
+
+
+def _critical_path(graph: ComputationGraph, weights: Sequence[int]) -> int:
+    n = graph.num_steps
+    dist = [0] * n
+    for i in range(n):
+        di = dist[i] + weights[i]
+        for j in graph.successors[i]:
+            if di > dist[j]:
+                dist[j] = di
+    return max(
+        (dist[i] + weights[i] for i in range(n)), default=0
+    )
+
+
+def greedy_schedule(
+    graph: ComputationGraph,
+    workers: int,
+    *,
+    unit_weights: bool = False,
+) -> ScheduleStats:
+    """Level-synchronized greedy scheduling of the graph on ``workers``."""
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    weights = step_weights(graph, unit_weights)
+    n = graph.num_steps
+    indeg = [len(p) for p in graph.predecessors]
+    ready: List[int] = [i for i, d in enumerate(indeg) if d == 0]
+    remaining: Dict[int, int] = {}  # step -> time left (running steps)
+    time = 0
+    done = 0
+    busy = 0
+    while done < n:
+        # Fill idle workers from the ready pool (FIFO: oldest first).
+        while ready and len(remaining) < workers:
+            step = ready.pop(0)
+            remaining[step] = weights[step]
+        if not remaining:
+            raise ValueError("computation graph contains a cycle")
+        # Advance time by the smallest remaining cost (event-driven).
+        delta = min(remaining.values())
+        time += delta
+        busy += delta * len(remaining)
+        finished = [s for s, r in remaining.items() if r == delta]
+        for step in list(remaining):
+            remaining[step] -= delta
+            if remaining[step] == 0:
+                del remaining[step]
+        for step in finished:
+            done += 1
+            for succ in graph.successors[step]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+    return ScheduleStats(
+        workers=workers,
+        makespan=time,
+        work=sum(weights),
+        span=_critical_path(graph, weights),
+        busy=busy,
+    )
+
+
+class WorkStealingSimulator:
+    """Randomized work stealing over a computation graph.
+
+    Each worker owns a LIFO deque.  When a step completes, its newly
+    enabled successors are pushed onto the finishing worker's deque (the
+    continuation-first discipline).  Idle workers pick a random victim and
+    steal from the *top* (oldest end) of its deque.  Steals take one time
+    unit whether or not they succeed.
+    """
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        workers: int,
+        *,
+        seed: int = 0,
+        unit_weights: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.graph = graph
+        self.workers = workers
+        self.rng = random.Random(seed)
+        self.weights = step_weights(graph, unit_weights)
+
+    def run(self) -> ScheduleStats:
+        graph, workers = self.graph, self.workers
+        n = graph.num_steps
+        indeg = [len(p) for p in graph.predecessors]
+        deques: List[List[int]] = [[] for _ in range(workers)]
+        # Roots go to worker 0 (the "main" worker).
+        for i, d in enumerate(indeg):
+            if d == 0:
+                deques[0].append(i)
+        current: List[Optional[int]] = [None] * workers
+        left: List[int] = [0] * workers
+        time = 0
+        done = 0
+        busy = 0
+        steals = 0
+        failed = 0
+        rng = self.rng
+        while done < n:
+            # 1. assign work
+            for w in range(workers):
+                if current[w] is None:
+                    if deques[w]:
+                        step = deques[w].pop()  # LIFO: own work from the bottom
+                        current[w] = step
+                        left[w] = self.weights[step]
+                    else:
+                        victims = [
+                            v for v in range(workers)
+                            if v != w and deques[v]
+                        ]
+                        if victims:
+                            victim = rng.choice(victims)
+                            step = deques[victim].pop(0)  # steal oldest
+                            current[w] = step
+                            left[w] = self.weights[step]
+                            steals += 1
+                        else:
+                            failed += 1
+            # 2. advance one time unit
+            time += 1
+            for w in range(workers):
+                step = current[w]
+                if step is None:
+                    continue
+                busy += 1
+                left[w] -= 1
+                if left[w] == 0:
+                    current[w] = None
+                    done += 1
+                    for succ in graph.successors[step]:
+                        indeg[succ] -= 1
+                        if indeg[succ] == 0:
+                            deques[w].append(succ)
+            if done < n and all(c is None for c in current) and not any(
+                deques
+            ):
+                raise ValueError("computation graph contains a cycle")
+        return ScheduleStats(
+            workers=workers,
+            makespan=time,
+            work=sum(self.weights),
+            span=_critical_path(graph, self.weights),
+            busy=busy,
+            steals=steals,
+            failed_steals=failed,
+        )
+
+
+def speedup_curve(
+    graph: ComputationGraph,
+    worker_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    *,
+    scheduler: str = "greedy",
+    seed: int = 0,
+    unit_weights: bool = False,
+) -> Dict[int, ScheduleStats]:
+    """Simulate the graph at several worker counts."""
+    out: Dict[int, ScheduleStats] = {}
+    for p in worker_counts:
+        if scheduler == "greedy":
+            out[p] = greedy_schedule(graph, p, unit_weights=unit_weights)
+        elif scheduler == "work-stealing":
+            out[p] = WorkStealingSimulator(
+                graph, p, seed=seed, unit_weights=unit_weights
+            ).run()
+        else:
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+    return out

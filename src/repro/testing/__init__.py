@@ -1,0 +1,31 @@
+"""Program generation and execution helpers used by tests and benchmarks."""
+
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Future,
+    Get,
+    Program,
+    Read,
+    Stmt,
+    Write,
+    count_stmts,
+    program_strategy,
+    random_program,
+    run_program,
+)
+
+__all__ = [
+    "Stmt",
+    "Read",
+    "Write",
+    "Get",
+    "Async",
+    "Future",
+    "Finish",
+    "Program",
+    "run_program",
+    "random_program",
+    "program_strategy",
+    "count_stmts",
+]

@@ -1,0 +1,326 @@
+"""Hand-written corpus of async/finish/future programs with known verdicts.
+
+Each :class:`CorpusProgram` builds a program against a fresh runtime and
+declares the exact set of racy locations (per Definition 3).  The corpus is
+shared by the detector integration tests, the cross-detector agreement
+tests, and the documentation examples — every entry is a scenario called
+out somewhere in the paper:
+
+* structured async-finish races (the SP-bags/ESP-bags regime);
+* future tree joins (parent get), including repeated gets;
+* sibling/cousin non-tree joins and transitive join chains (Figure 1);
+* reader-set subtleties: multiple parallel future readers, async reader
+  replacement (Lemma 4), write-after-read retirement (Lemma 3);
+* the Appendix A reference-race pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Sequence, Tuple
+
+from repro.memory.shared import SharedArray
+from repro.runtime.runtime import Runtime
+
+__all__ = ["CorpusProgram", "CORPUS", "run_corpus_program"]
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """A named program plus its ground-truth racy-location set."""
+
+    name: str
+    builder: Callable[[Runtime, SharedArray], None]
+    racy: FrozenSet[Tuple[str, int]]
+    num_locs: int = 4
+    description: str = ""
+
+    def locs(self) -> FrozenSet:
+        return self.racy
+
+
+def run_corpus_program(
+    program: CorpusProgram, observers: Sequence = ()
+) -> Runtime:
+    """Execute a corpus entry with ``observers`` attached."""
+    rt = Runtime(observers=list(observers))
+    mem = SharedArray(rt, "x", program.num_locs)
+    rt.run(lambda _rt: program.builder(rt, mem))
+    return rt
+
+
+def _loc(i: int) -> Tuple[str, int]:
+    return ("x", i)
+
+
+# ---------------------------------------------------------------------- #
+# Builders                                                               #
+# ---------------------------------------------------------------------- #
+def _race_free_sequential(rt: Runtime, mem: SharedArray) -> None:
+    mem.write(0, 1)
+    mem.read(0)
+    mem.write(0, 2)
+
+
+def _parallel_writes_race(rt: Runtime, mem: SharedArray) -> None:
+    with rt.finish():
+        rt.async_(lambda: mem.write(0, 1))
+        rt.async_(lambda: mem.write(0, 2))
+
+
+def _finish_orders_writes(rt: Runtime, mem: SharedArray) -> None:
+    with rt.finish():
+        rt.async_(lambda: mem.write(0, 1))
+    with rt.finish():
+        rt.async_(lambda: mem.write(0, 2))
+
+
+def _nested_finish_race_free(rt: Runtime, mem: SharedArray) -> None:
+    def outer() -> None:
+        with rt.finish():
+            rt.async_(lambda: mem.write(1, 7))
+        mem.read(1)
+
+    with rt.finish():
+        rt.async_(outer)
+    mem.read(1)
+
+
+def _escaping_async_race(rt: Runtime, mem: SharedArray) -> None:
+    # The async escapes its parent into the ancestor's finish; its write is
+    # parallel with the parent's continuation read.
+    def parent() -> None:
+        rt.async_(lambda: mem.write(2, 1))  # IEF is the outer finish
+        mem.read(2)  # races: no join yet
+
+    with rt.finish():
+        rt.async_(parent)
+
+
+def _future_get_orders(rt: Runtime, mem: SharedArray) -> None:
+    f = rt.future(lambda: mem.write(0, 42))
+    f.get()
+    mem.read(0)
+
+
+def _future_without_get_races(rt: Runtime, mem: SharedArray) -> None:
+    rt.future(lambda: mem.write(0, 42))  # never joined before the read...
+    mem.read(0)  # ...so this read races (implicit finish joins later)
+
+
+def _repeated_get_race_free(rt: Runtime, mem: SharedArray) -> None:
+    f = rt.future(lambda: mem.write(0, 1))
+    f.get()
+    f.get()  # repeated joins are no-ops
+    mem.write(0, 2)
+
+
+def _sibling_join_orders(rt: Runtime, mem: SharedArray) -> None:
+    f = rt.future(lambda: mem.write(0, 1), name="producer")
+
+    def consumer() -> None:
+        f.get()  # non-tree join
+        mem.read(0)
+
+    g = rt.future(consumer, name="consumer")
+    g.get()
+
+
+def _sibling_without_join_races(rt: Runtime, mem: SharedArray) -> None:
+    f = rt.future(lambda: mem.write(0, 1), name="producer")
+    g = rt.future(lambda: mem.read(0), name="consumer")  # no get: race
+    f.get()
+    g.get()
+
+
+def _transitive_join_chain(rt: Runtime, mem: SharedArray) -> None:
+    # Figure 1's transitive dependence: main joins only C, but C joined B
+    # and B joined A, so main is ordered after all of them.
+    a = rt.future(lambda: mem.write(0, 1), name="A")
+
+    def body_b() -> None:
+        a.get()
+        mem.write(1, 2)
+
+    b = rt.future(body_b, name="B")
+
+    def body_c() -> None:
+        b.get()
+        mem.write(2, 3)
+
+    c = rt.future(body_c, name="C")
+    c.get()
+    mem.read(0)
+    mem.read(1)
+    mem.read(2)
+
+
+def _partial_transitive_race(rt: Runtime, mem: SharedArray) -> None:
+    # Main joins C; C joined B but nobody joined A -> A's write still races
+    # with main's read of loc 0, while loc 1 is ordered.
+    a = rt.future(lambda: mem.write(0, 1), name="A")
+
+    def body_b() -> None:
+        mem.write(1, 2)
+
+    b = rt.future(body_b, name="B")
+
+    def body_c() -> None:
+        b.get()
+        mem.write(2, 3)
+
+    c = rt.future(body_c, name="C")
+    c.get()
+    mem.read(0)  # races with A
+    mem.read(1)  # ordered through C -> B
+    mem.read(2)  # ordered through C
+
+
+def _many_future_readers_then_ordered_write(rt: Runtime, mem: SharedArray) -> None:
+    # Several parallel future readers; the writer joins them all -> no race.
+    mem.write(3, 9)
+    readers = [rt.future(lambda: mem.read(3)) for _ in range(4)]
+    for f in readers:
+        f.get()
+    mem.write(3, 10)
+
+
+def _many_future_readers_missed_one(rt: Runtime, mem: SharedArray) -> None:
+    # Joining all but one reader leaves exactly one racy pair: the write
+    # races with the unjoined future's read.  The multi-reader shadow set
+    # is what catches this (an SP-bags-style single reader could not).
+    mem.write(3, 9)
+    readers = [rt.future(lambda: mem.read(3), name=f"r{i}") for i in range(4)]
+    for f in readers[:-1]:
+        f.get()
+    mem.write(3, 10)
+    readers[-1].get()
+
+
+def _async_reader_replacement(rt: Runtime, mem: SharedArray) -> None:
+    # Lemma 4 regime: async readers in series, then a parallel async write.
+    mem.write(0, 1)
+    with rt.finish():
+        rt.async_(lambda: mem.read(0))
+    with rt.finish():
+        rt.async_(lambda: mem.read(0))
+        rt.async_(lambda: mem.write(0, 2))  # races with the sibling read
+
+
+def _write_read_same_task(rt: Runtime, mem: SharedArray) -> None:
+    def worker() -> None:
+        mem.write(1, 5)
+        mem.read(1)
+        mem.write(1, 6)
+
+    with rt.finish():
+        rt.async_(worker)
+    mem.read(1)
+
+
+def _future_value_only_no_memory(rt: Runtime, mem: SharedArray) -> None:
+    # Pure functional futures: values flow through get() only — the
+    # guaranteed-race-free idiom the paper contrasts with side effects.
+    f = rt.future(lambda: 21)
+    g = rt.future(lambda: f.get() * 2)
+    assert g.get() == 42
+
+
+def _depends_on_handle_cells(rt: Runtime, mem: SharedArray) -> None:
+    # Appendix A discipline done right: handle published before consumers
+    # spawn; no race anywhere.
+    cell = SharedArray(rt, "cells", 1)
+    f = rt.future(lambda: mem.write(0, 8))
+    cell.write(0, f)
+
+    def consumer() -> None:
+        cell.read(0).get()
+        mem.read(0)
+
+    g = rt.future(consumer)
+    g.get()
+
+
+CORPUS: List[CorpusProgram] = [
+    CorpusProgram(
+        "race_free_sequential", _race_free_sequential, frozenset(),
+        description="single-task program: program order covers everything",
+    ),
+    CorpusProgram(
+        "parallel_writes_race", _parallel_writes_race,
+        frozenset({_loc(0)}),
+        description="two asyncs in one finish write the same cell",
+    ),
+    CorpusProgram(
+        "finish_orders_writes", _finish_orders_writes, frozenset(),
+        description="back-to-back finish scopes serialize the writers",
+    ),
+    CorpusProgram(
+        "nested_finish_race_free", _nested_finish_race_free, frozenset(),
+        description="inner finish joins the writer before both readers",
+    ),
+    CorpusProgram(
+        "escaping_async_race", _escaping_async_race,
+        frozenset({_loc(2)}),
+        description="terminally-strict escape: async outlives its parent",
+    ),
+    CorpusProgram(
+        "future_get_orders", _future_get_orders, frozenset(),
+        description="parent get() is a tree join ordering the write",
+    ),
+    CorpusProgram(
+        "future_without_get_races", _future_without_get_races,
+        frozenset({_loc(0)}),
+        description="unjoined future write races with the parent read",
+    ),
+    CorpusProgram(
+        "repeated_get_race_free", _repeated_get_race_free, frozenset(),
+        description="repeated get() on one future is idempotent",
+    ),
+    CorpusProgram(
+        "sibling_join_orders", _sibling_join_orders, frozenset(),
+        description="non-tree join between siblings orders the accesses",
+    ),
+    CorpusProgram(
+        "sibling_without_join_races", _sibling_without_join_races,
+        frozenset({_loc(0)}),
+        description="siblings without a get() race",
+    ),
+    CorpusProgram(
+        "transitive_join_chain", _transitive_join_chain, frozenset(),
+        description="Figure 1: main is ordered after A,B,C via C alone",
+    ),
+    CorpusProgram(
+        "partial_transitive_race", _partial_transitive_race,
+        frozenset({_loc(0)}),
+        description="transitive chain with one missing link",
+    ),
+    CorpusProgram(
+        "many_future_readers_then_ordered_write",
+        _many_future_readers_then_ordered_write, frozenset(),
+        description="all parallel future readers joined before the write",
+    ),
+    CorpusProgram(
+        "many_future_readers_missed_one",
+        _many_future_readers_missed_one, frozenset({_loc(3)}),
+        description="one unjoined future reader: needs the multi-reader set",
+    ),
+    CorpusProgram(
+        "async_reader_replacement", _async_reader_replacement,
+        frozenset({_loc(0)}),
+        description="Lemma 4: one async reader representative suffices",
+    ),
+    CorpusProgram(
+        "write_read_same_task", _write_read_same_task, frozenset(),
+        description="program order within one task plus a finish",
+    ),
+    CorpusProgram(
+        "future_value_only_no_memory", _future_value_only_no_memory,
+        frozenset(),
+        description="functional futures: no shared accesses at all",
+    ),
+    CorpusProgram(
+        "depends_on_handle_cells", _depends_on_handle_cells, frozenset(),
+        description="handles through shared cells, published before use",
+    ),
+]

@@ -1,0 +1,4 @@
+"""Command-line tools: ``repro-racecheck`` and the Table 2 generator
+(``repro-table2`` lives in :mod:`repro.harness.table2`)."""
+
+__all__ = ["racecheck"]

@@ -1,0 +1,25 @@
+"""The Table 2 benchmark workloads (Section 5) plus extension kernels."""
+
+from repro.workloads import (
+    crypt_idea,
+    jacobi,
+    lufact,
+    nqueens,
+    reduce_tree,
+    series,
+    smith_waterman,
+    sor,
+    strassen,
+)
+
+__all__ = [
+    "series",
+    "crypt_idea",
+    "jacobi",
+    "smith_waterman",
+    "strassen",
+    "sor",
+    "lufact",
+    "nqueens",
+    "reduce_tree",
+]

@@ -1,0 +1,307 @@
+"""Crypt — IDEA encryption (JGF section 2 benchmark), implemented in full.
+
+The International Data Encryption Algorithm operates on 64-bit blocks with
+a 128-bit key expanded into 52 16-bit subkeys (8.5 rounds of multiply mod
+2^16+1, add mod 2^16, xor).  The JGF benchmark encrypts a byte array, then
+decrypts it with the inverse key schedule and checks it round-trips; the
+parallel versions split the array into chunks, one task per chunk.
+
+This module is a from-scratch IDEA: key schedule (25-bit rotations),
+decryption schedule (multiplicative inverses mod 65537, additive inverses
+mod 65536), and the block function — validated against the round-trip
+property and algebraic identities in ``tests/workloads/test_crypt.py``.
+
+Table 2 characteristics reproduced here:
+
+* one task per chunk, *lots* of instrumented byte accesses per task with
+  little arithmetic between them — the low work-per-access ratio that gives
+  Crypt the highest slowdowns among the async-finish rows (7.77×/8.26×);
+* ``run_future`` stores handles in shared cells (two extra accesses per
+  task — the paper's #SharedMem delta "exactly matches the lower bound of
+  2 x 12,500,000"), and a shared read-only config cell is read by every
+  task: parallel future readers all stay in its shadow reader set while
+  async readers keep a single representative (the paper's "#AvgReaders is
+  higher, because of the presence of future tasks");
+* all joins are parent joins → ``#NTJoins = 0`` for both variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.memory.shared import SharedArray, SharedVar
+from repro.runtime.runtime import Runtime
+
+__all__ = [
+    "CryptParams",
+    "default_params",
+    "key_schedule",
+    "inverse_key_schedule",
+    "encrypt_block",
+    "serial",
+    "run_af",
+    "run_future",
+    "verify",
+]
+
+
+@dataclass(frozen=True)
+class CryptParams:
+    num_blocks: int = 256    #: 8-byte blocks (JGF Size C: 6,250,000)
+    num_chunks: int = 32     #: tasks per phase
+    key_seed: int = 0x2B7E151628AED2A6
+
+    @property
+    def num_bytes(self) -> int:
+        return self.num_blocks * 8
+
+
+def default_params(scale: str = "small") -> CryptParams:
+    return {
+        "tiny": CryptParams(num_blocks=32, num_chunks=8),
+        "small": CryptParams(num_blocks=256, num_chunks=32),
+        "table2": CryptParams(num_blocks=2048, num_chunks=128),
+    }[scale]
+
+
+# ---------------------------------------------------------------------- #
+# IDEA primitives                                                        #
+# ---------------------------------------------------------------------- #
+def _mul(a: int, b: int) -> int:
+    """IDEA multiplication: multiply in GF(2^16 + 1) with 0 meaning 2^16."""
+    if a == 0:
+        a = 0x10000
+    if b == 0:
+        b = 0x10000
+    return (a * b) % 0x10001 & 0xFFFF
+
+
+def _mul_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^16 + 1), with the 0 ≡ 2^16 encoding."""
+    if a == 0:
+        a = 0x10000
+    return pow(a, 0x10001 - 2, 0x10001) & 0xFFFF
+
+
+def _add_inv(a: int) -> int:
+    """Additive inverse mod 2^16."""
+    return (-a) & 0xFFFF
+
+
+def key_schedule(key128: int) -> List[int]:
+    """Expand a 128-bit key into the 52 encryption subkeys.
+
+    Standard IDEA schedule: take the key as eight 16-bit words, then
+    repeatedly rotate the whole 128-bit value left by 25 bits and take the
+    next eight words, until 52 are produced.
+    """
+    key128 &= (1 << 128) - 1
+    subkeys: List[int] = []
+    value = key128
+    while len(subkeys) < 52:
+        for i in range(8):
+            if len(subkeys) == 52:
+                break
+            shift = 112 - 16 * i
+            subkeys.append((value >> shift) & 0xFFFF)
+        value = ((value << 25) | (value >> (128 - 25))) & ((1 << 128) - 1)
+    return subkeys
+
+
+def inverse_key_schedule(enc: Sequence[int]) -> List[int]:
+    """Derive the 52 decryption subkeys from the encryption subkeys."""
+    dec = [0] * 52
+    # Output transformation of decryption = inverse of round 9 input.
+    dec[0] = _mul_inv(enc[48])
+    dec[1] = _add_inv(enc[49])
+    dec[2] = _add_inv(enc[50])
+    dec[3] = _mul_inv(enc[51])
+    dec[4] = enc[46]
+    dec[5] = enc[47]
+    for r in range(1, 8):
+        e = 48 - 6 * r  # start of the source round's keys
+        d = 6 * r
+        dec[d] = _mul_inv(enc[e])
+        # Middle rounds swap the two addition keys.
+        dec[d + 1] = _add_inv(enc[e + 2])
+        dec[d + 2] = _add_inv(enc[e + 1])
+        dec[d + 3] = _mul_inv(enc[e + 3])
+        dec[d + 4] = enc[e - 2]
+        dec[d + 5] = enc[e - 1]
+    dec[48] = _mul_inv(enc[0])
+    dec[49] = _add_inv(enc[1])
+    dec[50] = _add_inv(enc[2])
+    dec[51] = _mul_inv(enc[3])
+    return dec
+
+
+def encrypt_block(block: Tuple[int, int, int, int], keys: Sequence[int]):
+    """Encrypt one 64-bit block (four 16-bit words) with 52 subkeys.
+
+    Decryption is the same function with the inverse schedule.
+    """
+    x1, x2, x3, x4 = block
+    k = 0
+    for _ in range(8):
+        x1 = _mul(x1, keys[k])
+        x2 = (x2 + keys[k + 1]) & 0xFFFF
+        x3 = (x3 + keys[k + 2]) & 0xFFFF
+        x4 = _mul(x4, keys[k + 3])
+        t1 = x1 ^ x3
+        t2 = x2 ^ x4
+        t1 = _mul(t1, keys[k + 4])
+        t2 = (t2 + t1) & 0xFFFF
+        t2 = _mul(t2, keys[k + 5])
+        t1 = (t1 + t2) & 0xFFFF
+        x1 ^= t2
+        x3 ^= t2
+        x2 ^= t1
+        x4 ^= t1
+        x2, x3 = x3, x2
+        k += 6
+    y1 = _mul(x1, keys[48])
+    y2 = (x3 + keys[49]) & 0xFFFF  # the final swap is undone here
+    y3 = (x2 + keys[50]) & 0xFFFF
+    y4 = _mul(x4, keys[51])
+    return y1, y2, y3, y4
+
+
+def _make_plaintext(params: CryptParams) -> List[int]:
+    """Deterministic pseudo-random plaintext bytes (JGF uses a fixed seed)."""
+    out: List[int] = []
+    state = params.key_seed & 0xFFFFFFFF or 1
+    for _ in range(params.num_bytes):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        out.append(state & 0xFF)
+    return out
+
+
+def _crypt_list(data: Sequence[int], keys: Sequence[int]) -> List[int]:
+    """Encrypt/decrypt a byte list block by block (serial helper)."""
+    out = [0] * len(data)
+    for b in range(len(data) // 8):
+        o = 8 * b
+        words = tuple(
+            (data[o + 2 * w] << 8) | data[o + 2 * w + 1] for w in range(4)
+        )
+        y = encrypt_block(words, keys)
+        for w in range(4):
+            out[o + 2 * w] = (y[w] >> 8) & 0xFF
+            out[o + 2 * w + 1] = y[w] & 0xFF
+    return out
+
+
+# ---------------------------------------------------------------------- #
+@dataclass
+class CryptResult:
+    plaintext: List[int]
+    ciphertext: List[int]
+    roundtrip: List[int]
+
+
+def serial(params: CryptParams) -> CryptResult:
+    """Serial elision: encrypt then decrypt, uninstrumented."""
+    enc = key_schedule(params.key_seed | (params.key_seed << 64))
+    dec = inverse_key_schedule(enc)
+    plain = _make_plaintext(params)
+    cipher = _crypt_list(plain, enc)
+    round_ = _crypt_list(cipher, dec)
+    return CryptResult(plaintext=plain, ciphertext=cipher, roundtrip=round_)
+
+
+def _chunks(num_blocks: int, num_chunks: int) -> List[Tuple[int, int]]:
+    """Split block indices into ``num_chunks`` contiguous ranges."""
+    per = (num_blocks + num_chunks - 1) // num_chunks
+    return [
+        (lo, min(lo + per, num_blocks)) for lo in range(0, num_blocks, per)
+    ]
+
+
+def _crypt_chunk(
+    src: SharedArray,
+    dst: SharedArray,
+    keys: Sequence[int],
+    rounds_cfg,
+    lo: int,
+    hi: int,
+) -> None:
+    """Encrypt blocks [lo, hi) reading/writing through instrumented arrays.
+
+    Key subkeys are task arguments (value semantics) — this matches the
+    paper's accounting, where the *only* extra shared accesses of the
+    future variant are the two per handle (the measured delta "exactly
+    matches the lower bound of 2 x 12,500,000").  One shared read-only
+    config cell is read per chunk: with async tasks at most one reader is
+    retained for it, while parallel future tasks all stay in its shadow
+    reader set — the effect behind the paper's "the average number of
+    readers stored in the shadow memory is higher, because of the presence
+    of future tasks", at O(chunks) instead of O(tasks x keys) cost.
+    """
+    local_keys = list(keys)
+    rounds_cfg.read()  # shared config: populates the multi-reader cell
+    for b in range(lo, hi):
+        o = 8 * b
+        raw = [src.read(o + i) for i in range(8)]
+        words = tuple((raw[2 * w] << 8) | raw[2 * w + 1] for w in range(4))
+        y = encrypt_block(words, local_keys)
+        for w in range(4):
+            dst.write(o + 2 * w, (y[w] >> 8) & 0xFF)
+            dst.write(o + 2 * w + 1, y[w] & 0xFF)
+
+
+def _setup_shared(rt: Runtime, params: CryptParams):
+    enc = key_schedule(params.key_seed | (params.key_seed << 64))
+    dec = inverse_key_schedule(enc)
+    plain_list = _make_plaintext(params)
+    plain = SharedArray(rt, "plain", plain_list)
+    cipher = SharedArray(rt, "cipher", params.num_bytes)
+    round_ = SharedArray(rt, "round", params.num_bytes)
+    rounds_cfg = SharedVar(rt, "rounds_cfg", 8)
+    return plain, cipher, round_, enc, dec, rounds_cfg
+
+
+def run_af(rt: Runtime, params: CryptParams) -> CryptResult:
+    """Async-finish variant (Table 2 row *Crypt-af*)."""
+    plain, cipher, round_, enc, dec, cfg = _setup_shared(rt, params)
+    ranges = _chunks(params.num_blocks, params.num_chunks)
+    with rt.finish():
+        for lo, hi in ranges:
+            rt.async_(_crypt_chunk, plain, cipher, enc, cfg, lo, hi)
+    with rt.finish():
+        for lo, hi in ranges:
+            rt.async_(_crypt_chunk, cipher, round_, dec, cfg, lo, hi)
+    return CryptResult(
+        plaintext=plain.to_list(),
+        ciphertext=cipher.to_list(),
+        roundtrip=round_.to_list(),
+    )
+
+
+def run_future(rt: Runtime, params: CryptParams) -> CryptResult:
+    """Future variant (Table 2 row *Crypt-future*): handles through shared
+    cells, joined by the creating task."""
+    plain, cipher, round_, enc, dec, cfg = _setup_shared(rt, params)
+    ranges = _chunks(params.num_blocks, params.num_chunks)
+    handles = SharedArray(rt, "handles", 2 * len(ranges))
+    for i, (lo, hi) in enumerate(ranges):
+        handles.write(i, rt.future(_crypt_chunk, plain, cipher, enc, cfg, lo, hi))
+    for i in range(len(ranges)):
+        handles.read(i).get()
+    n = len(ranges)
+    for i, (lo, hi) in enumerate(ranges):
+        handles.write(n + i, rt.future(_crypt_chunk, cipher, round_, dec, cfg, lo, hi))
+    for i in range(len(ranges)):
+        handles.read(n + i).get()
+    return CryptResult(
+        plaintext=plain.to_list(),
+        ciphertext=cipher.to_list(),
+        roundtrip=round_.to_list(),
+    )
+
+
+def verify(params: CryptParams, result: CryptResult) -> None:
+    """Round-trip must restore the plaintext and match the serial elision."""
+    assert result.roundtrip == result.plaintext, "IDEA round-trip failed"
+    expected = serial(params)
+    assert result.ciphertext == expected.ciphertext, "ciphertext mismatch"

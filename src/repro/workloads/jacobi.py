@@ -1,0 +1,170 @@
+"""Jacobi — 2-D 5-point stencil with dependence-driven tile tasks.
+
+The paper translated the Kastors OpenMP-4.0 ``jacobi`` benchmark (tasks with
+``depends`` clauses) into futures: "get() operations used to synchronize
+with previously data dependent tasks.  In general, this kind of task
+dependences cannot be represented using only async-finish constructs
+without loss of parallelism."
+
+We reproduce both sides of that comparison:
+
+* ``run_future`` — the paper's Table 2 row: tiles are tasks submitted
+  through :class:`~repro.runtime.depends.DependsTaskGroup`; a tile task for
+  sweep ``t`` waits (inside the task, via ``get``) on the sweep ``t-1``
+  producers of its own and neighboring tiles → sibling-to-sibling joins,
+  i.e. **non-tree joins**, in numbers growing with tiles × sweeps.
+* ``run_af`` — the lossy async-finish rendering (a full barrier per sweep),
+  used by the detector-comparison benchmark since ESP-bags can handle it.
+
+The grid ping-pongs between two instrumented arrays; every interior element
+update performs 4 instrumented reads + 1 instrumented write, matching the
+per-element accounting behind the paper's 641M #SharedMem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.memory.shared import SharedNDArray
+from repro.runtime.depends import DependsTaskGroup
+from repro.runtime.runtime import Runtime
+
+__all__ = ["JacobiParams", "default_params", "serial", "run_af", "run_future", "verify"]
+
+
+@dataclass(frozen=True)
+class JacobiParams:
+    interior: int = 32   #: interior cells per side (paper: 2048 total grid)
+    tile: int = 8        #: tile side (paper: 64)
+    sweeps: int = 4      #: Jacobi iterations
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.interior % self.tile:
+            raise ValueError("tile must divide interior")
+
+    @property
+    def n(self) -> int:
+        """Full grid side including the fixed boundary."""
+        return self.interior + 2
+
+    @property
+    def tiles_per_side(self) -> int:
+        return self.interior // self.tile
+
+
+def default_params(scale: str = "small") -> JacobiParams:
+    return {
+        "tiny": JacobiParams(interior=8, tile=4, sweeps=2),
+        "small": JacobiParams(interior=32, tile=8, sweeps=4),
+        "table2": JacobiParams(interior=64, tile=16, sweeps=4),
+    }[scale]
+
+
+def _initial_grid(params: JacobiParams) -> np.ndarray:
+    rng = np.random.default_rng(params.seed)
+    grid = rng.random((params.n, params.n))
+    return grid
+
+
+def serial(params: JacobiParams) -> np.ndarray:
+    """Serial elision: vectorized sweeps with the same evaluation order."""
+    u = _initial_grid(params)
+    v = u.copy()
+    for _ in range(params.sweeps):
+        v[1:-1, 1:-1] = 0.25 * (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+        )
+        u, v = v, u
+    return u
+
+
+def _compute_tile(
+    src: SharedNDArray, dst: SharedNDArray, r0: int, r1: int, c0: int, c1: int
+) -> None:
+    """Per-element instrumented stencil update of one tile."""
+    read, write = src.read, dst.write
+    for i in range(r0, r1):
+        for j in range(c0, c1):
+            up = read((i - 1, j))
+            down = read((i + 1, j))
+            left = read((i, j - 1))
+            right = read((i, j + 1))
+            write((i, j), 0.25 * (up + down + left + right))
+
+
+def _tile_ranges(params: JacobiParams) -> List[Tuple[int, int, int, int]]:
+    t = params.tile
+    out = []
+    for bi in range(params.tiles_per_side):
+        for bj in range(params.tiles_per_side):
+            out.append((1 + bi * t, 1 + (bi + 1) * t, 1 + bj * t, 1 + (bj + 1) * t))
+    return out
+
+
+def _setup(rt: Runtime, params: JacobiParams):
+    u = SharedNDArray(rt, "u", _initial_grid(params))
+    v = SharedNDArray(rt, "v", _initial_grid(params).copy())
+    return u, v
+
+
+def run_af(rt: Runtime, params: JacobiParams) -> SharedNDArray:
+    """Barrier-per-sweep async-finish version (loses wavefront overlap)."""
+    u, v = _setup(rt, params)
+    ranges = _tile_ranges(params)
+    for _ in range(params.sweeps):
+        with rt.finish():
+            for r0, r1, c0, c1 in ranges:
+                rt.async_(_compute_tile, u, v, r0, r1, c0, c1)
+        u, v = v, u
+    return u
+
+
+def run_future(rt: Runtime, params: JacobiParams) -> SharedNDArray:
+    """Dependence-driven future version (Table 2 row *Jacobi*).
+
+    Tile task for sweep ``t`` declares ``in`` on the source tile and its
+    four neighbors and ``out`` on the destination tile; the group turns
+    those into sibling ``get()`` calls inside each task.
+    """
+    u, v = _setup(rt, params)
+    group = DependsTaskGroup(rt)
+    t = params.tiles_per_side
+    names = ["u", "v"]
+    src_name, dst_name = names
+    for sweep in range(params.sweeps):
+        for bi in range(t):
+            for bj in range(t):
+                r0 = 1 + bi * params.tile
+                c0 = 1 + bj * params.tile
+                deps_in = [(src_name, bi, bj)]
+                for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    ni, nj = bi + di, bj + dj
+                    if 0 <= ni < t and 0 <= nj < t:
+                        deps_in.append((src_name, ni, nj))
+                group.task(
+                    _compute_tile,
+                    u,
+                    v,
+                    r0,
+                    r0 + params.tile,
+                    c0,
+                    c0 + params.tile,
+                    in_=deps_in,
+                    out=[(dst_name, bi, bj)],
+                    name=f"jacobi[{sweep}]({bi},{bj})",
+                )
+        u, v = v, u
+        src_name, dst_name = dst_name, src_name
+    group.wait_all()
+    return u
+
+
+def verify(params: JacobiParams, result: SharedNDArray) -> None:
+    expected = serial(params)
+    if not np.allclose(result.data, expected, rtol=1e-12, atol=1e-12):
+        worst = np.abs(result.data - expected).max()
+        raise AssertionError(f"jacobi mismatch, max abs err {worst}")

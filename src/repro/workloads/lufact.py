@@ -1,0 +1,205 @@
+"""LUFact — blocked LU factorization with dependence-driven futures.
+
+An extension workload modeled on the JGF *LUFact* kernel and the Kastors
+``sparselu``/``plasma``-style task graphs: factorize ``A = L·U`` (no
+pivoting; the generator produces strictly diagonally dominant matrices so
+pivoting is never needed) over a B×B grid of tiles with the classic
+four-kernel task graph per step ``k``:
+
+    diag(k)            : LU-factorize tile (k,k)                in-place
+    row(k,j),  j > k   : U-panel solve   A[k][j] = L(k,k)^-1 A[k][j]
+    col(i,k),  i > k   : L-panel solve   A[i][k] = A[i][k] U(k,k)^-1
+    update(i,j), i,j>k : trailing update A[i][j] -= A[i][k] A[k][j]
+
+Every kernel is a future task submitted through
+:class:`~repro.runtime.depends.DependsTaskGroup` with ``in``/``inout``
+clauses on tile keys; the resulting graph is the textbook example of
+parallelism that barriers throttle (the trailing updates of step ``k``
+overlap the panel work of step ``k+1``).  Tile loads/stores are
+instrumented per element via the same
+:class:`~repro.workloads.strassen.InstrumentedMatrix` accounting.
+
+Verification is exact: integer-free but reproducible float comparison —
+``L @ U`` must reconstruct ``A`` to machine precision, and the factors
+must match a straightforward serial right-looking elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.runtime.depends import DependsTaskGroup
+from repro.runtime.runtime import Runtime
+from repro.workloads.strassen import InstrumentedMatrix
+
+__all__ = ["LUParams", "default_params", "serial", "run_future", "verify"]
+
+
+@dataclass(frozen=True)
+class LUParams:
+    n: int = 32        #: matrix side
+    tile: int = 8      #: tile side
+    seed: int = 9
+
+    def __post_init__(self) -> None:
+        if self.n % self.tile:
+            raise ValueError("tile must divide n")
+
+    @property
+    def tiles(self) -> int:
+        return self.n // self.tile
+
+
+def default_params(scale: str = "small") -> LUParams:
+    return {
+        "tiny": LUParams(n=16, tile=8),
+        "small": LUParams(n=32, tile=8),
+        "table2": LUParams(n=64, tile=16),
+    }[scale]
+
+
+def _input_matrix(params: LUParams) -> np.ndarray:
+    """Strictly diagonally dominant => LU without pivoting is stable."""
+    rng = np.random.default_rng(params.seed)
+    a = rng.random((params.n, params.n)) - 0.5
+    a += np.diag(np.full(params.n, params.n))
+    return a
+
+
+def _lu_inplace(a: np.ndarray) -> np.ndarray:
+    """Right-looking in-place LU of one tile (unit-diagonal L below, U on
+    and above the diagonal)."""
+    n = a.shape[0]
+    for k in range(n):
+        a[k + 1 :, k] /= a[k, k]
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    return a
+
+
+def _lower_solve(lkk: np.ndarray, akj: np.ndarray) -> np.ndarray:
+    """Solve L(k,k) X = A[k][j] with unit-lower-triangular L (row panel)."""
+    n = lkk.shape[0]
+    x = akj.copy()
+    for r in range(1, n):
+        x[r, :] -= lkk[r, :r] @ x[:r, :]
+    return x
+
+
+def _upper_solve(ukk: np.ndarray, aik: np.ndarray) -> np.ndarray:
+    """Solve X U(k,k) = A[i][k] with upper-triangular U (column panel)."""
+    n = ukk.shape[0]
+    x = aik.copy()
+    for c in range(n):
+        x[:, c] -= x[:, :c] @ ukk[:c, c]
+        x[:, c] /= ukk[c, c]
+    return x
+
+
+def serial(params: LUParams) -> np.ndarray:
+    """Serial elision: the same tiled algorithm, sequentially."""
+    a = _input_matrix(params)
+    t, b = params.tiles, params.tile
+
+    def tile(i, j):
+        return a[i * b : (i + 1) * b, j * b : (j + 1) * b]
+
+    for k in range(t):
+        _lu_inplace(tile(k, k))
+        for j in range(k + 1, t):
+            tile(k, j)[:, :] = _lower_solve(tile(k, k), tile(k, j))
+        for i in range(k + 1, t):
+            tile(i, k)[:, :] = _upper_solve(tile(k, k), tile(i, k))
+        for i in range(k + 1, t):
+            for j in range(k + 1, t):
+                tile(i, j)[:, :] -= tile(i, k) @ tile(k, j)
+    return a
+
+
+def run_future(rt: Runtime, params: LUParams) -> np.ndarray:
+    """Dependence-driven tiled LU (futures via the depends layer)."""
+    a = _input_matrix(params)
+    t, b = params.tiles, params.tile
+    tiles: Dict[Tuple[int, int], InstrumentedMatrix] = {}
+    for i in range(t):
+        for j in range(t):
+            m = InstrumentedMatrix(
+                rt, b, a[i * b : (i + 1) * b, j * b : (j + 1) * b].copy(),
+                name=f"A{i}{j}",
+            )
+            # float tiles: InstrumentedMatrix defaults to int64 zeros only
+            # when data is None, so passing data keeps the float dtype.
+            tiles[i, j] = m
+
+    group = DependsTaskGroup(rt)
+
+    def diag(k):
+        def body():
+            tiles[k, k].store(_lu_inplace(tiles[k, k].load()))
+
+        return body
+
+    def row(k, j):
+        def body():
+            tiles[k, j].store(
+                _lower_solve(tiles[k, k].load(), tiles[k, j].load())
+            )
+
+        return body
+
+    def col(i, k):
+        def body():
+            tiles[i, k].store(
+                _upper_solve(tiles[k, k].load(), tiles[i, k].load())
+            )
+
+        return body
+
+    def update(i, j, k):
+        def body():
+            tiles[i, j].store(
+                tiles[i, j].load() - tiles[i, k].load() @ tiles[k, j].load()
+            )
+
+        return body
+
+    for k in range(t):
+        group.task(diag(k), inout=[("T", k, k)], name=f"diag({k})")
+        for j in range(k + 1, t):
+            group.task(row(k, j), in_=[("T", k, k)], inout=[("T", k, j)],
+                       name=f"row({k},{j})")
+        for i in range(k + 1, t):
+            group.task(col(i, k), in_=[("T", k, k)], inout=[("T", i, k)],
+                       name=f"col({i},{k})")
+        for i in range(k + 1, t):
+            for j in range(k + 1, t):
+                group.task(
+                    update(i, j, k),
+                    in_=[("T", i, k), ("T", k, j)],
+                    inout=[("T", i, j)],
+                    name=f"upd({i},{j},{k})",
+                )
+    group.wait_all()
+
+    out = np.zeros_like(a)
+    for (i, j), m in tiles.items():
+        out[i * b : (i + 1) * b, j * b : (j + 1) * b] = m.data
+    return out
+
+
+def _split_lu(packed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    l = np.tril(packed, -1) + np.eye(packed.shape[0])
+    u = np.triu(packed)
+    return l, u
+
+
+def verify(params: LUParams, result: np.ndarray) -> None:
+    expected = serial(params)
+    if not np.allclose(result, expected, rtol=1e-10, atol=1e-10):
+        raise AssertionError("LU factors differ from the serial elision")
+    l, u = _split_lu(result)
+    original = _input_matrix(params)
+    if not np.allclose(l @ u, original, rtol=1e-8, atol=1e-8):
+        raise AssertionError("L @ U does not reconstruct A")

@@ -1,0 +1,155 @@
+"""NQueens — recursive async-finish search (BOTS-style extension workload).
+
+Counts the solutions of the n-queens problem by spawning one async per
+board extension down to a cutoff depth, each subtree reporting into its own
+cell of a shared result array (the race-free reduction idiom: the parent
+sums after its finish).  Every finish is owned by the task that spawned the
+children, so the computation is *fully strict* — this is the workload that
+lets SP-bags and Offset-Span labeling (the most restricted baselines) run
+on something non-trivial.
+
+``run_racy_counter`` is the textbook bug: all tasks increment one shared
+counter instead; the detector (and every baseline) must flag it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.memory.shared import SharedArray, SharedVar
+from repro.runtime.runtime import Runtime
+
+__all__ = [
+    "NQueensParams",
+    "default_params",
+    "serial",
+    "run_af",
+    "run_racy_counter",
+    "verify",
+    "KNOWN_SOLUTIONS",
+]
+
+#: Solution counts for boards 1..10 (OEIS A000170) — verification anchors.
+KNOWN_SOLUTIONS = [1, 0, 0, 2, 10, 4, 40, 92, 352, 724]
+
+
+@dataclass(frozen=True)
+class NQueensParams:
+    n: int = 6          #: board size
+    cutoff: int = 2     #: spawn tasks down to this depth; sequential below
+
+
+def default_params(scale: str = "small") -> NQueensParams:
+    return {
+        "tiny": NQueensParams(n=5, cutoff=1),
+        "small": NQueensParams(n=6, cutoff=2),
+        "table2": NQueensParams(n=8, cutoff=2),
+    }[scale]
+
+
+def _safe(placement: Tuple[int, ...], col: int) -> bool:
+    row = len(placement)
+    for r, c in enumerate(placement):
+        if c == col or abs(c - col) == row - r:
+            return False
+    return True
+
+
+def _count_sequential(placement: Tuple[int, ...], n: int) -> int:
+    if len(placement) == n:
+        return 1
+    total = 0
+    for col in range(n):
+        if _safe(placement, col):
+            total += _count_sequential(placement + (col,), n)
+    return total
+
+
+def serial(params: NQueensParams) -> int:
+    """Serial elision: plain recursive count."""
+    return _count_sequential((), params.n)
+
+
+def _slot_of(placement: Tuple[int, ...], n: int) -> int:
+    """Deterministic slot id: position of the node in the full n-ary tree.
+
+    Purely a function of the placement, so parallel tasks never coordinate
+    on an allocator (a hidden allocator would itself be a logical race).
+    """
+    depth = len(placement)
+    offset = sum(n ** k for k in range(depth))
+    index = 0
+    for col in placement:
+        index = index * n + col
+    return offset + index
+
+
+def run_af(rt: Runtime, params: NQueensParams) -> int:
+    """Fully strict async-finish parallel count.
+
+    Each task owns a finish around the asyncs it spawns and a structurally
+    addressed private slot in a shared results array; sums propagate up by
+    the parent reading its children's slots after the finish — no shared
+    cell is ever written by two parallel tasks.
+    """
+    n, cutoff = params.n, params.cutoff
+    slots = SharedArray(rt, "partial", _max_tasks(n, cutoff))
+
+    def explore(placement: Tuple[int, ...]) -> None:
+        depth = len(placement)
+        out_slot = _slot_of(placement, n)
+        if depth >= cutoff:
+            slots.write(out_slot, _count_sequential(placement, n))
+            return
+        children: List[Tuple[int, ...]] = []
+        with rt.finish():
+            for col in range(n):
+                if _safe(placement, col):
+                    child = placement + (col,)
+                    children.append(child)
+                    rt.async_(explore, child, name=f"nq{child}")
+        total = sum(slots.read(_slot_of(c, n)) for c in children)
+        slots.write(out_slot, total)
+
+    explore(())
+    return slots.read(_slot_of((), n))
+
+
+def run_racy_counter(rt: Runtime, params: NQueensParams) -> int:
+    """The bug everyone writes first: a single shared counter incremented
+    by every parallel leaf."""
+    n, cutoff = params.n, params.cutoff
+    counter = SharedVar(rt, "solutions", 0)
+
+    def explore(placement: Tuple[int, ...]) -> None:
+        depth = len(placement)
+        if depth >= cutoff:
+            found = _count_sequential(placement, n)
+            counter.write(counter.read() + found)  # racy read-modify-write
+            return
+        with rt.finish():
+            for col in range(n):
+                if _safe(placement, col):
+                    rt.async_(explore, placement + (col,))
+
+    explore(())
+    return counter.read()
+
+
+def _max_tasks(n: int, cutoff: int) -> int:
+    total = 1
+    width = 1
+    for _ in range(cutoff):
+        width *= n
+        total += width
+    return total
+
+
+def verify(params: NQueensParams, result: int) -> None:
+    expected = (
+        KNOWN_SOLUTIONS[params.n - 1]
+        if params.n <= len(KNOWN_SOLUTIONS)
+        else serial(params)
+    )
+    assert result == expected, (result, expected)

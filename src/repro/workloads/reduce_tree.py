@@ -1,0 +1,89 @@
+"""Functional reduction tree — futures with *no* side effects.
+
+Section 2: "Futures are traditionally used for enabling functional-style
+parallelism and are guaranteed not to exhibit data races in their return
+values."  This extension workload is that guarantee made executable: a
+divide-and-conquer reduction where every intermediate value flows through
+futures' return values and ``get()``, never through shared memory.  Under
+detection it produces *zero* shared accesses and zero races by
+construction — the degenerate best case for any detector — and it doubles
+as the API showcase for value-carrying futures (including futures whose
+operands are other futures' values).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.runtime.runtime import Runtime
+
+__all__ = ["ReduceParams", "default_params", "serial", "run_future", "verify"]
+
+
+@dataclass(frozen=True)
+class ReduceParams:
+    size: int = 64            #: number of leaves
+    cutoff: int = 8           #: sequential below this many elements
+    op: str = "add"           #: "add" | "max" | "mul"
+    seed: int = 5
+
+    @property
+    def operator(self) -> Callable[[int, int], int]:
+        return {"add": operator.add, "max": max, "mul": operator.mul}[self.op]
+
+    @property
+    def identity(self) -> int:
+        return {"add": 0, "max": -(1 << 62), "mul": 1}[self.op]
+
+
+def default_params(scale: str = "small") -> ReduceParams:
+    return {
+        "tiny": ReduceParams(size=16, cutoff=4),
+        "small": ReduceParams(size=64, cutoff=8),
+        "table2": ReduceParams(size=512, cutoff=16),
+    }[scale]
+
+
+def _data(params: ReduceParams) -> List[int]:
+    state = params.seed or 1
+    out = []
+    for _ in range(params.size):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        out.append(state % 1000 - 500)
+    return out
+
+
+def serial(params: ReduceParams) -> int:
+    op = params.operator
+    acc = params.identity
+    for value in _data(params):
+        acc = op(acc, value)
+    return acc
+
+
+def run_future(rt: Runtime, params: ReduceParams) -> int:
+    """Recursive reduction: each half is a future; the combiner consumes
+    values through ``get()`` only.  The left-to-right combination order is
+    preserved, so even non-commutative operators match the serial fold."""
+    data = _data(params)
+    op = params.operator
+
+    def reduce_range(lo: int, hi: int) -> int:
+        if hi - lo <= params.cutoff:
+            acc = params.identity
+            for i in range(lo, hi):
+                acc = op(acc, data[i])
+            return acc
+        mid = (lo + hi) // 2
+        left = rt.future(reduce_range, lo, mid, name=f"red[{lo}:{mid}]")
+        right = rt.future(reduce_range, mid, hi, name=f"red[{mid}:{hi}]")
+        return op(left.get(), right.get())
+
+    return reduce_range(0, params.size)
+
+
+def verify(params: ReduceParams, result: int) -> None:
+    expected = serial(params)
+    assert result == expected, (result, expected)

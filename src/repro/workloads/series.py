@@ -1,0 +1,131 @@
+"""Series — Fourier coefficient analysis (JGF section 2 benchmark).
+
+Computes the first ``n`` pairs of Fourier coefficients of
+``f(x) = (x + 1)^x`` on ``[0, 2]`` by composite trapezoidal integration,
+exactly as the Java Grande Forum *Series* benchmark does.  The paper runs
+JGF Size C (1,000,000 coefficient pairs); we scale ``n`` down but keep the
+structure: one task per coefficient pair, each dominated by a
+transcendental-heavy integration loop with only a handful of shared-memory
+accesses — which is why the paper measures a 1.00× race-detection slowdown
+for both variants (huge work per access amortizes the detector).
+
+Variants (Table 2 rows *Series-af* and *Series-future*):
+
+* ``run_af``     — ``finish { for i: async { compute pair i } }``;
+* ``run_future`` — one future per pair, the **handle stored into a shared
+  array cell and read back** before ``get()``.  Those handle cells are the
+  "additional writes and reads of future references … stored in shared
+  (heap) locations" that make ``#SharedMem(Series-future) −
+  #SharedMem(Series-af) ≈ 2 × #Tasks`` in the paper's Section 5 analysis.
+
+Every get here is performed by the task that created the future, so all
+joins are tree joins: ``#NTJoins = 0`` for both variants, as in Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.memory.shared import SharedArray
+from repro.runtime.runtime import Runtime
+
+__all__ = ["SeriesParams", "default_params", "serial", "run_af", "run_future", "verify"]
+
+
+@dataclass(frozen=True)
+class SeriesParams:
+    n: int = 128            #: number of coefficient pairs (JGF Size C: 1e6)
+    intervals: int = 100    #: trapezoid intervals per integration
+
+
+def default_params(scale: str = "small") -> SeriesParams:
+    return {
+        "tiny": SeriesParams(n=16, intervals=24),
+        "small": SeriesParams(n=128, intervals=100),
+        "table2": SeriesParams(n=1000, intervals=200),
+    }[scale]
+
+
+def _f(x: float, mode: int, k: int) -> float:
+    """JGF ``thefunction``: the integrand for a0 (mode 0), a_k (1), b_k (2)."""
+    base = (x + 1.0) ** x
+    if mode == 0:
+        return base
+    omega = math.pi * k * x  # period 2 -> omega_k = k*pi
+    if mode == 1:
+        return base * math.cos(omega)
+    return base * math.sin(omega)
+
+
+def _trapezoid(mode: int, k: int, intervals: int) -> float:
+    """Composite trapezoid integral of the selected integrand over [0, 2]."""
+    dx = 2.0 / intervals
+    total = 0.5 * (_f(0.0, mode, k) + _f(2.0, mode, k))
+    x = dx
+    for _ in range(intervals - 1):
+        total += _f(x, mode, k)
+        x += dx
+    return total * dx
+
+
+def _pair(k: int, intervals: int) -> Tuple[float, float]:
+    """The k-th coefficient pair (a_k, b_k); pair 0 is (a_0/2, 0)."""
+    if k == 0:
+        return _trapezoid(0, 0, intervals) / 2.0, 0.0
+    return _trapezoid(1, k, intervals), _trapezoid(2, k, intervals)
+
+
+# ---------------------------------------------------------------------- #
+def serial(params: SeriesParams) -> List[Tuple[float, float]]:
+    """Serial elision: plain loop, no instrumentation."""
+    return [_pair(k, params.intervals) for k in range(params.n)]
+
+
+def run_af(rt: Runtime, params: SeriesParams) -> SharedArray:
+    """Async-finish variant (Table 2 row *Series-af*)."""
+    coeffs = SharedArray(rt, "coeffs", 2 * params.n)
+    intervals = params.intervals
+
+    def compute(k: int) -> None:
+        a, b = _pair(k, intervals)
+        coeffs.write(2 * k, a)
+        coeffs.write(2 * k + 1, b)
+
+    with rt.finish():
+        for k in range(params.n):
+            rt.async_(compute, k)
+    return coeffs
+
+
+def run_future(rt: Runtime, params: SeriesParams) -> SharedArray:
+    """Future variant (Table 2 row *Series-future*).
+
+    Handles pass through shared cells (one write at creation + one read at
+    join per task — the paper's lower bound on the extra accesses).
+    """
+    coeffs = SharedArray(rt, "coeffs", 2 * params.n)
+    handles = SharedArray(rt, "handles", params.n)
+    intervals = params.intervals
+
+    def compute(k: int) -> None:
+        a, b = _pair(k, intervals)
+        coeffs.write(2 * k, a)
+        coeffs.write(2 * k + 1, b)
+
+    for k in range(params.n):
+        handles.write(k, rt.future(compute, k))
+    for k in range(params.n):
+        handles.read(k).get()
+    return coeffs
+
+
+def verify(params: SeriesParams, coeffs: SharedArray) -> None:
+    """Check the instrumented result against the serial elision."""
+    expected = serial(params)
+    for k, (a, b) in enumerate(expected):
+        got_a = coeffs.peek(2 * k)
+        got_b = coeffs.peek(2 * k + 1)
+        assert math.isclose(got_a, a, rel_tol=1e-12, abs_tol=1e-12), (k, got_a, a)
+        assert math.isclose(got_b, b, rel_tol=1e-12, abs_tol=1e-12), (k, got_b, b)

@@ -1,0 +1,171 @@
+"""Smith-Waterman — local sequence alignment with a future wavefront.
+
+The paper's benchmark ("based on a programming project in COMP322"):
+"Sequence alignment of two sequences … The alignment matrix computation is
+done by 40×40 future tasks."  Each tile of the dynamic-programming matrix
+is one future task that joins its north, west and north-west neighbor
+tiles — all sibling joins, so Smith-Waterman is the most non-tree-join
+dense row of Table 2 relative to its task count (4,641 NT joins over 1,608
+tasks) and shows the largest slowdown (9.92×, driven by its 1.65B shared
+accesses: 3 reads + 1 write per DP cell).
+
+Scoring is classic local alignment::
+
+    H[i][j] = max(0,
+                  H[i-1][j-1] + (match if x[i]==y[j] else mismatch),
+                  H[i-1][j]   + gap,
+                  H[i][j-1]   + gap)
+
+Tile handles are published in an instrumented
+:class:`~repro.memory.shared.SharedMatrix` by the main task before any
+consumer is spawned, so the handle cells themselves are race-free — the
+disciplined version of the Appendix A reference-flow pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.memory.shared import SharedMatrix, SharedNDArray
+from repro.runtime.runtime import Runtime
+
+__all__ = ["SWParams", "default_params", "serial", "run_future", "verify"]
+
+_ALPHABET = "ACGT"
+
+
+@dataclass(frozen=True)
+class SWParams:
+    length: int = 64       #: both sequence lengths (paper: 10,000)
+    tile: int = 16         #: tile side (paper: 250 → 40×40 tiles)
+    match: int = 2
+    mismatch: int = -1
+    gap: int = -1
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.length % self.tile:
+            raise ValueError("tile must divide length")
+
+    @property
+    def tiles(self) -> int:
+        return self.length // self.tile
+
+
+def default_params(scale: str = "small") -> SWParams:
+    return {
+        "tiny": SWParams(length=16, tile=8),
+        "small": SWParams(length=64, tile=16),
+        "table2": SWParams(length=160, tile=20),
+    }[scale]
+
+
+def _sequences(params: SWParams) -> Tuple[str, str]:
+    rng = np.random.default_rng(params.seed)
+    x = "".join(_ALPHABET[i] for i in rng.integers(0, 4, params.length))
+    y = "".join(_ALPHABET[i] for i in rng.integers(0, 4, params.length))
+    return x, y
+
+
+def serial(params: SWParams) -> np.ndarray:
+    """Serial elision: the full (length+1)^2 DP matrix, uninstrumented."""
+    x, y = _sequences(params)
+    n = params.length
+    h = np.zeros((n + 1, n + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        xi = x[i - 1]
+        for j in range(1, n + 1):
+            diag = h[i - 1, j - 1] + (
+                params.match if xi == y[j - 1] else params.mismatch
+            )
+            best = diag
+            up = h[i - 1, j] + params.gap
+            if up > best:
+                best = up
+            left = h[i, j - 1] + params.gap
+            if left > best:
+                best = left
+            h[i, j] = best if best > 0 else 0
+    return h
+
+
+def _compute_tile(
+    h: SharedNDArray,
+    x: str,
+    y: str,
+    params: SWParams,
+    r0: int,
+    c0: int,
+) -> int:
+    """Fill tile [r0, r0+T) × [c0, c0+T) of the DP matrix (1-based cells).
+
+    3 instrumented reads + 1 instrumented write per cell; returns the tile's
+    max score (so futures carry a value, like the course project).
+    """
+    read, write = h.read, h.write
+    match, mismatch, gap = params.match, params.mismatch, params.gap
+    t = params.tile
+    best_in_tile = 0
+    for i in range(r0, r0 + t):
+        xi = x[i - 1]
+        for j in range(c0, c0 + t):
+            diag = read((i - 1, j - 1)) + (match if xi == y[j - 1] else mismatch)
+            up = read((i - 1, j)) + gap
+            left = read((i, j - 1)) + gap
+            best = diag
+            if up > best:
+                best = up
+            if left > best:
+                best = left
+            if best < 0:
+                best = 0
+            write((i, j), best)
+            if best > best_in_tile:
+                best_in_tile = best
+    return best_in_tile
+
+
+def run_future(rt: Runtime, params: SWParams) -> Tuple[SharedNDArray, int]:
+    """Wavefront of tile futures (Table 2 row *Smith-Waterman*).
+
+    Main publishes each tile's handle into a shared handle matrix; each
+    tile task reads and joins its NW/N/W neighbors — non-tree joins, three
+    per interior tile.
+    """
+    x, y = _sequences(params)
+    n = params.length
+    h = SharedNDArray(rt, "H", np.zeros((n + 1, n + 1), dtype=np.int64))
+    tiles = params.tiles
+    handles = SharedMatrix(rt, "tile_handles", tiles, tiles)
+
+    def tile_body(bi: int, bj: int) -> int:
+        for di, dj in ((-1, -1), (-1, 0), (0, -1)):
+            ni, nj = bi + di, bj + dj
+            if 0 <= ni and 0 <= nj:
+                handles.read(ni, nj).get()
+        return _compute_tile(
+            h, x, y, params, 1 + bi * params.tile, 1 + bj * params.tile
+        )
+
+    for bi in range(tiles):
+        for bj in range(tiles):
+            handle = rt.future(tile_body, bi, bj, name=f"sw({bi},{bj})")
+            handles.write(bi, bj, handle)
+    best = 0
+    for bi in range(tiles):
+        for bj in range(tiles):
+            score = handles.read(bi, bj).get()
+            if score > best:
+                best = score
+    return h, best
+
+
+def verify(params: SWParams, result: Tuple[SharedNDArray, int]) -> None:
+    h, best = result
+    expected = serial(params)
+    if not np.array_equal(h.data, expected):
+        raise AssertionError("Smith-Waterman DP matrix mismatch")
+    assert best == int(expected.max()), (best, int(expected.max()))

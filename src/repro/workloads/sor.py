@@ -1,0 +1,172 @@
+"""SOR — red-black successive over-relaxation (JGF section 2 kernel).
+
+An *extension* workload (not a Table 2 row): the classic red-black
+Gauss-Seidel sweep is the canonical example of a data-parallel kernel whose
+correctness depends on the coloring — all same-color updates are
+independent, while touching a neighbor of the same color races.  That makes
+it a sharp test for the detector:
+
+* ``run_af`` / ``run_future`` — correct red-black versions (async-finish
+  barriers vs. dependence-driven futures over row blocks);
+* ``run_unsynchronized`` — the classic bug: both colors in one parallel
+  phase, which the detector must flag on the boundary rows.
+
+Update rule (JGF): ``G[i][j] += omega/4 * (up + down + left + right - 4*G[i][j])``
+written as ``G[i][j] = (1-omega)*G[i][j] + omega/4 * (neighbors)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.memory.shared import SharedNDArray
+from repro.runtime.depends import DependsTaskGroup
+from repro.runtime.runtime import Runtime
+
+__all__ = [
+    "SORParams",
+    "default_params",
+    "serial",
+    "run_af",
+    "run_future",
+    "run_unsynchronized",
+    "verify",
+]
+
+
+@dataclass(frozen=True)
+class SORParams:
+    interior: int = 16     #: interior rows/cols (JGF Size C: 2000)
+    rows_per_task: int = 4
+    sweeps: int = 2
+    omega: float = 1.25
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.interior % self.rows_per_task:
+            raise ValueError("rows_per_task must divide interior")
+
+    @property
+    def n(self) -> int:
+        return self.interior + 2
+
+
+def default_params(scale: str = "small") -> SORParams:
+    return {
+        "tiny": SORParams(interior=8, rows_per_task=4, sweeps=1),
+        "small": SORParams(interior=16, rows_per_task=4, sweeps=2),
+        "table2": SORParams(interior=32, rows_per_task=8, sweeps=4),
+    }[scale]
+
+
+def _initial_grid(params: SORParams) -> np.ndarray:
+    rng = np.random.default_rng(params.seed)
+    return rng.random((params.n, params.n))
+
+
+def serial(params: SORParams) -> np.ndarray:
+    """Serial elision: red phase then black phase per sweep."""
+    g = _initial_grid(params)
+    omega = params.omega
+    for _ in range(params.sweeps):
+        for color in (0, 1):
+            for i in range(1, params.n - 1):
+                start = 1 + ((i + color) & 1)
+                for j in range(start, params.n - 1, 2):
+                    g[i, j] = (1.0 - omega) * g[i, j] + 0.25 * omega * (
+                        g[i - 1, j] + g[i + 1, j] + g[i, j - 1] + g[i, j + 1]
+                    )
+    return g
+
+
+def _relax_rows(
+    g: SharedNDArray, omega: float, n: int, r0: int, r1: int, color: int
+) -> None:
+    """One color's updates for rows [r0, r1): 4 reads + 1 read + 1 write
+    per updated cell (instrumented)."""
+    read, write = g.read, g.write
+    for i in range(r0, r1):
+        start = 1 + ((i + color) & 1)
+        for j in range(start, n - 1, 2):
+            old = read((i, j))
+            new = (1.0 - omega) * old + 0.25 * omega * (
+                read((i - 1, j)) + read((i + 1, j))
+                + read((i, j - 1)) + read((i, j + 1))
+            )
+            write((i, j), new)
+
+
+def _row_blocks(params: SORParams) -> List[Tuple[int, int]]:
+    return [
+        (1 + b * params.rows_per_task, 1 + (b + 1) * params.rows_per_task)
+        for b in range(params.interior // params.rows_per_task)
+    ]
+
+
+def run_af(rt: Runtime, params: SORParams) -> SharedNDArray:
+    """Barrier between colors and sweeps (the JGF structure)."""
+    g = SharedNDArray(rt, "G", _initial_grid(params))
+    blocks = _row_blocks(params)
+    for _ in range(params.sweeps):
+        for color in (0, 1):
+            with rt.finish():
+                for r0, r1 in blocks:
+                    rt.async_(_relax_rows, g, params.omega, params.n, r0, r1, color)
+    return g
+
+
+def run_future(rt: Runtime, params: SORParams) -> SharedNDArray:
+    """Dependence-driven version: a block's phase waits only for its own
+    and neighboring blocks' previous phases (point-to-point, non-tree
+    joins) instead of a full barrier.
+
+    Dependence keys are *color-aware* (``("red", b)`` / ``("black", b)``):
+    a red update reads only black neighbors plus its own old red values,
+    so declaring color-blind per-block keys would manufacture spurious
+    same-phase anti-dependences that serialize the blocks — the declared
+    dependences, not the detector, would destroy the parallelism.  (The
+    color-blind variant is kept in the test suite as a cautionary
+    measurement: still race-free, three times the critical path.)
+    """
+    g = SharedNDArray(rt, "G", _initial_grid(params))
+    group = DependsTaskGroup(rt)
+    blocks = _row_blocks(params)
+    nblocks = len(blocks)
+    names = ("red", "black")
+    for sweep in range(params.sweeps):
+        for color in (0, 1):
+            own, other = names[color], names[1 - color]
+            for b, (r0, r1) in enumerate(blocks):
+                reads = [(other, nb) for nb in (b - 1, b, b + 1)
+                         if 0 <= nb < nblocks]
+                group.task(
+                    _relax_rows, g, params.omega, params.n, r0, r1, color,
+                    in_=reads,
+                    inout=[(own, b)],
+                    name=f"sor[s{sweep}{own}{b}]",
+                )
+    group.wait_all()
+    return g
+
+
+def run_unsynchronized(rt: Runtime, params: SORParams) -> SharedNDArray:
+    """The bug: both colors of a sweep in ONE parallel phase.  Same-color
+    blocks are still independent, but red reads black's in-flight writes on
+    shared rows — the detector must report races."""
+    g = SharedNDArray(rt, "G", _initial_grid(params))
+    blocks = _row_blocks(params)
+    for _ in range(params.sweeps):
+        with rt.finish():
+            for color in (0, 1):
+                for r0, r1 in blocks:
+                    rt.async_(_relax_rows, g, params.omega, params.n, r0, r1, color)
+    return g
+
+
+def verify(params: SORParams, result: SharedNDArray) -> None:
+    expected = serial(params)
+    if not np.allclose(result.data, expected, rtol=1e-12, atol=1e-12):
+        raise AssertionError("SOR mismatch vs serial elision")

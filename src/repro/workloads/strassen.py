@@ -1,0 +1,260 @@
+"""Strassen — recursive matrix multiplication with future tasks.
+
+The paper translated the Kastors OpenMP ``strassen`` into futures: each of
+the seven recursive products M1..M7 is a future task, and the four output
+quadrants are combined by sibling tasks that ``get()`` the products they
+need — non-tree joins, 33,612 of them in the paper's 1024×1024/cutoff-32
+run.  We keep the identical task and synchronization structure at reduced
+size.
+
+Instrumentation granularity: the paper instruments every array-element
+access (1.61B for Strassen).  At CPython speed we keep per-element
+accounting but batch the arithmetic: an :class:`InstrumentedMatrix` records
+one read per element consumed and one write per element produced while the
+actual arithmetic runs vectorized in numpy — the detector sees the same
+locations in the same order as a scalar implementation visiting elements
+row-major.  Integer matrices make verification exact (Strassen over ℤ is
+exact, so ``verify`` compares against ``A @ B`` with no tolerance).
+
+Strassen recurrences (quadrant indexing ``[[11, 12], [21, 22]]``)::
+
+    M1 = (A11 + A22)(B11 + B22)     C11 = M1 + M4 - M5 + M7
+    M2 = (A21 + A22) B11            C12 = M3 + M5
+    M3 = A11 (B12 - B22)            C21 = M2 + M4
+    M4 = A22 (B21 - B11)            C22 = M1 - M2 + M3 + M6
+    M5 = (A11 + A12) B22
+    M6 = (A21 - A11)(B11 + B12)
+    M7 = (A12 - A22)(B21 + B22)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.runtime.future import FutureHandle
+from repro.runtime.runtime import Runtime
+
+__all__ = [
+    "StrassenParams",
+    "default_params",
+    "InstrumentedMatrix",
+    "serial",
+    "run_future",
+    "verify",
+]
+
+
+@dataclass(frozen=True)
+class StrassenParams:
+    n: int = 32          #: matrix side, power of two (paper: 1024)
+    cutoff: int = 16     #: direct-multiply threshold (paper: 32)
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n & (self.n - 1) or self.cutoff & (self.cutoff - 1):
+            raise ValueError("n and cutoff must be powers of two")
+        if self.cutoff > self.n:
+            raise ValueError("cutoff must not exceed n")
+
+
+def default_params(scale: str = "small") -> StrassenParams:
+    return {
+        "tiny": StrassenParams(n=16, cutoff=8),
+        "small": StrassenParams(n=32, cutoff=16),
+        "table2": StrassenParams(n=64, cutoff=16),
+    }[scale]
+
+
+def _inputs(params: StrassenParams) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(params.seed)
+    a = rng.integers(-4, 5, size=(params.n, params.n)).astype(np.int64)
+    b = rng.integers(-4, 5, size=(params.n, params.n)).astype(np.int64)
+    return a, b
+
+
+class InstrumentedMatrix:
+    """A square int64 matrix whose loads/stores are recorded per element.
+
+    ``load()`` records ``n*n`` reads and returns a defensive copy;
+    ``store()`` records ``n*n`` writes.  Location keys are
+    ``(name, i, j)`` — identical to what a scalar element-wise
+    implementation would touch, in row-major order.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = ("name", "data", "_record_read", "_record_write")
+
+    def __init__(self, rt: Runtime, n: int, data: np.ndarray | None = None, name: str | None = None):
+        self.name = name or f"mat{next(self._ids)}"
+        self.data = np.zeros((n, n), dtype=np.int64) if data is None else data
+        self._record_read = rt.record_read
+        self._record_write = rt.record_write
+
+    @property
+    def n(self) -> int:
+        return self.data.shape[0]
+
+    def load(self) -> np.ndarray:
+        rec, name = self._record_read, self.name
+        n = self.n
+        for i in range(n):
+            for j in range(n):
+                rec((name, i, j))
+        return self.data.copy()
+
+    def store(self, values: np.ndarray) -> None:
+        rec, name = self._record_write, self.name
+        n = self.n
+        for i in range(n):
+            for j in range(n):
+                rec((name, i, j))
+        self.data[:, :] = values
+
+def _split(rt: Runtime, m: InstrumentedMatrix) -> List[List[InstrumentedMatrix]]:
+    """Read ``m`` once (n*n recorded reads) and materialize its quadrants
+    as fresh instrumented temporaries (n*n recorded writes total)."""
+    full = m.load()
+    h = m.n // 2
+    quads = []
+    for qi in range(2):
+        row = []
+        for qj in range(2):
+            q = InstrumentedMatrix(rt, h)
+            q.store(full[qi * h : (qi + 1) * h, qj * h : (qj + 1) * h])
+            row.append(q)
+        quads.append(row)
+    return quads
+
+
+def serial(params: StrassenParams) -> np.ndarray:
+    """Serial elision: exact integer product via numpy."""
+    a, b = _inputs(params)
+    return a @ b
+
+
+def run_future(rt: Runtime, params: StrassenParams) -> InstrumentedMatrix:
+    """Future-parallel Strassen (Table 2 row *Strassen*)."""
+    a_in, b_in = _inputs(params)
+    a = InstrumentedMatrix(rt, params.n, a_in.copy(), name="A")
+    b = InstrumentedMatrix(rt, params.n, b_in.copy(), name="B")
+    c = InstrumentedMatrix(rt, params.n, name="C")
+    _strassen(rt, a, b, c, params.cutoff)
+    return c
+
+
+def _strassen(
+    rt: Runtime,
+    a: InstrumentedMatrix,
+    b: InstrumentedMatrix,
+    c: InstrumentedMatrix,
+    cutoff: int,
+) -> None:
+    """Multiply ``a @ b`` into ``c``; spawns futures below the cutoff."""
+    n = a.n
+    if n <= cutoff:
+        c.store(a.load() @ b.load())
+        return
+    h = n // 2
+    aq = _split(rt, a)
+    bq = _split(rt, b)
+
+    def product(
+        left: Callable[[], np.ndarray], right: Callable[[], np.ndarray]
+    ) -> Callable[[], InstrumentedMatrix]:
+        """Body for an M_i future: evaluate the operand sums (instrumented
+        reads), recurse, and return the result matrix."""
+
+        def body() -> InstrumentedMatrix:
+            la = InstrumentedMatrix(rt, h)
+            la.store(left())
+            rb = InstrumentedMatrix(rt, h)
+            rb.store(right())
+            out = InstrumentedMatrix(rt, h)
+            _strassen(rt, la, rb, out, cutoff)
+            return out
+
+        return body
+
+    a11, a12 = aq[0]
+    a21, a22 = aq[1]
+    b11, b12 = bq[0]
+    b21, b22 = bq[1]
+
+    m: List[FutureHandle] = [
+        rt.future(product(lambda: a11.load() + a22.load(),
+                          lambda: b11.load() + b22.load()), name="M1"),
+        rt.future(product(lambda: a21.load() + a22.load(),
+                          lambda: b11.load()), name="M2"),
+        rt.future(product(lambda: a11.load(),
+                          lambda: b12.load() - b22.load()), name="M3"),
+        rt.future(product(lambda: a22.load(),
+                          lambda: b21.load() - b11.load()), name="M4"),
+        rt.future(product(lambda: a11.load() + a12.load(),
+                          lambda: b22.load()), name="M5"),
+        rt.future(product(lambda: a21.load() - a11.load(),
+                          lambda: b11.load() + b12.load()), name="M6"),
+        rt.future(product(lambda: a12.load() - a22.load(),
+                          lambda: b21.load() + b22.load()), name="M7"),
+    ]
+
+    def combine(expr: Callable[[], np.ndarray], deps: Tuple[int, ...]):
+        """Body for a C-quadrant future: join the products it consumes
+        (sibling gets → non-tree joins), then evaluate."""
+
+        def body() -> np.ndarray:
+            for idx in deps:
+                m[idx].get()
+            return expr()
+
+        return body
+
+    quads = [
+        rt.future(
+            combine(
+                lambda: m[0].task.value.load() + m[3].task.value.load()
+                - m[4].task.value.load() + m[6].task.value.load(),
+                (0, 3, 4, 6),
+            ),
+            name="C11",
+        ),
+        rt.future(
+            combine(
+                lambda: m[2].task.value.load() + m[4].task.value.load(),
+                (2, 4),
+            ),
+            name="C12",
+        ),
+        rt.future(
+            combine(
+                lambda: m[1].task.value.load() + m[3].task.value.load(),
+                (1, 3),
+            ),
+            name="C21",
+        ),
+        rt.future(
+            combine(
+                lambda: m[0].task.value.load() - m[1].task.value.load()
+                + m[2].task.value.load() + m[5].task.value.load(),
+                (0, 1, 2, 5),
+            ),
+            name="C22",
+        ),
+    ]
+    out = np.zeros((n, n), dtype=np.int64)
+    parts = [q.get() for q in quads]  # tree joins by the spawning task
+    out[:h, :h] = parts[0]
+    out[:h, h:] = parts[1]
+    out[h:, :h] = parts[2]
+    out[h:, h:] = parts[3]
+    c.store(out)
+
+
+def verify(params: StrassenParams, result: InstrumentedMatrix) -> None:
+    expected = serial(params)
+    if not np.array_equal(result.data, expected):
+        raise AssertionError("Strassen product mismatch")

@@ -1,0 +1,71 @@
+"""Unit tests for the brute-force transitive-closure oracle."""
+
+from repro import Runtime, SharedArray
+from repro.baselines import BruteForceDetector
+from repro.core.races import AccessKind
+
+
+def run(builder, locs=4, **kwargs):
+    det = BruteForceDetector(**kwargs)
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", locs)
+    rt.run(lambda _rt: builder(rt, mem))
+    return det
+
+
+def test_detects_basic_race_post_mortem():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            rt.async_(lambda: mem.write(0, 2))
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 0)}
+    assert det.races[0].kind is AccessKind.WRITE_WRITE
+    assert det.closure is not None
+
+
+def test_graph_and_pairs_exposed():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            rt.async_(lambda: mem.read(0))
+            rt.async_(lambda: mem.read(0))
+
+    det = run(prog, max_pairs_per_loc=None)
+    # write vs each read: two pairs (read-read is not a race)
+    assert len(det.pairs) == 2
+    assert det.graph.num_tasks == 4
+
+
+def test_max_pairs_default_caps_at_one_per_loc():
+    def prog(rt, mem):
+        with rt.finish():
+            for _ in range(4):
+                rt.async_(lambda: mem.write(0, 1))
+                rt.async_(lambda: mem.write(1, 1))
+
+    det = run(prog)
+    assert len(det.pairs) == 2  # one per racy location
+    assert det.racy_locations == {("x", 0), ("x", 1)}
+
+
+def test_race_free_program_clean():
+    def prog(rt, mem):
+        f = rt.future(lambda: mem.write(0, 1))
+        f.get()
+        mem.read(0)
+
+    det = run(prog)
+    assert not det.report.has_races
+    assert det.racy_location_set() == frozenset()
+
+
+def test_kind_classification_in_pairs():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.read(0))
+            rt.async_(lambda: mem.write(0, 1))
+
+    det = run(prog)
+    assert det.races[0].kind is AccessKind.READ_WRITE

@@ -1,0 +1,134 @@
+"""Unit tests for the ESP-bags baseline (async-finish only)."""
+
+import pytest
+
+from repro import Runtime, SharedArray, UnsupportedConstructError
+from repro.baselines import ESPBagsDetector
+
+
+def run(builder, locs=4):
+    det = ESPBagsDetector()
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", locs)
+    rt.run(lambda _rt: builder(rt, mem))
+    return det
+
+
+def test_parallel_writes_race():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            rt.async_(lambda: mem.write(0, 2))
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 0)}
+
+
+def test_finish_serializes():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 2))
+        mem.read(0)
+
+    det = run(prog)
+    assert not det.report.has_races
+
+
+def test_terminally_strict_escape_supported():
+    """ESP-bags handles asyncs escaping into an ancestor's finish."""
+
+    def prog(rt, mem):
+        def parent():
+            rt.async_(lambda: mem.write(2, 1))  # IEF: the outer finish
+            mem.read(2)  # real race
+
+        with rt.finish():
+            rt.async_(parent)
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 2)}
+
+
+def test_nested_finish_inside_task():
+    def prog(rt, mem):
+        def worker():
+            with rt.finish():
+                rt.async_(lambda: mem.write(1, 5))
+            mem.read(1)  # ordered by the inner finish
+
+        with rt.finish():
+            rt.async_(worker)
+        mem.read(1)
+
+    det = run(prog)
+    assert not det.report.has_races
+
+
+def test_parent_read_vs_child_write_race():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            mem.read(0)  # parallel with the child
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 0)}
+
+
+def test_reader_replacement_keeps_leftmost():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.read(0))
+            rt.async_(lambda: mem.read(0))
+            rt.async_(lambda: mem.write(0, 1))
+
+    det = run(prog)
+    # the write races with the retained reader (one report suffices)
+    assert det.racy_locations == {("x", 0)}
+
+
+def test_future_get_rejected():
+    def prog(rt, mem):
+        f = rt.future(lambda: 1)
+        f.get()
+
+    with pytest.raises(UnsupportedConstructError):
+        run(prog)
+
+
+def test_future_spawn_without_get_tolerated():
+    """Future tasks that are never joined behave like asyncs for ESP-bags
+    (their IEF join is a tree join); only get() is out of model."""
+
+    def prog(rt, mem):
+        with rt.finish():
+            rt.future(lambda: mem.write(0, 1))
+        mem.read(0)
+
+    det = run(prog)
+    assert not det.report.has_races
+
+
+def test_agreement_with_reference_detector_on_af_corpus():
+    from repro import DeterminacyRaceDetector
+    from repro.testing.programs import CORPUS, run_corpus_program
+
+    af_only = [
+        "race_free_sequential",
+        "parallel_writes_race",
+        "finish_orders_writes",
+        "nested_finish_race_free",
+        "escaping_async_race",
+        "async_reader_replacement",
+        "write_read_same_task",
+    ]
+    for program in CORPUS:
+        if program.name not in af_only:
+            continue
+        esp = ESPBagsDetector()
+        ref = DeterminacyRaceDetector()
+        run_corpus_program(program, [esp, ref])
+        assert esp.racy_locations == ref.racy_locations == program.racy, (
+            program.name
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for the SP-bags baseline (fully strict spawn-sync only)."""
+
+import pytest
+
+from repro import Runtime, SharedArray, UnsupportedConstructError
+from repro.baselines import SPBagsDetector
+
+
+def run(builder, locs=4):
+    det = SPBagsDetector()
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", locs)
+    rt.run(lambda _rt: builder(rt, mem))
+    return det
+
+
+def test_spawn_sync_race_detected():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            mem.write(0, 2)
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 0)}
+
+
+def test_sync_orders_accesses():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+        mem.write(0, 2)
+
+    det = run(prog)
+    assert not det.report.has_races
+
+
+def test_nested_fully_strict_ok():
+    def prog(rt, mem):
+        def worker():
+            with rt.finish():
+                rt.async_(lambda: mem.write(1, 1))
+            mem.read(1)
+
+        with rt.finish():
+            rt.async_(worker)
+
+    det = run(prog)
+    assert not det.report.has_races
+
+
+def test_escaping_async_rejected():
+    """Terminally-strict escapes are outside Cilk's fully strict model."""
+
+    def prog(rt, mem):
+        def parent():
+            rt.async_(lambda: mem.write(0, 1))  # escapes to outer finish
+
+        with rt.finish():
+            rt.async_(parent)
+
+    with pytest.raises(UnsupportedConstructError):
+        run(prog)
+
+
+def test_future_get_rejected():
+    def prog(rt, mem):
+        f = rt.future(lambda: 1)
+        f.get()
+
+    with pytest.raises(UnsupportedConstructError):
+        run(prog)
+
+
+def test_top_level_asyncs_allowed():
+    """Asyncs in main's implicit finish are spawned by the scope owner."""
+
+    def prog(rt, mem):
+        rt.async_(lambda: mem.write(0, 1))
+        rt.async_(lambda: mem.write(1, 2))
+
+    det = run(prog)
+    assert not det.report.has_races

@@ -1,0 +1,144 @@
+"""Unit tests for the SPD3 (DPST/LCA) baseline."""
+
+import pytest
+
+from repro import DeterminacyRaceDetector, Runtime, SharedArray
+from repro.baselines.spd3 import DpstNodeKind, SPD3Detector
+from repro.runtime.errors import UnsupportedConstructError
+from repro.testing.programs import CORPUS, run_corpus_program
+
+
+def run(builder, locs=4):
+    det = SPD3Detector()
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", locs)
+    rt.run(lambda _rt: builder(rt, mem))
+    return det
+
+
+def test_parallel_writes_race():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            rt.async_(lambda: mem.write(0, 2))
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 0)}
+
+
+def test_finish_orders():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+        mem.read(0)
+
+    det = run(prog)
+    assert not det.report.has_races
+
+
+def test_parent_step_between_spawns_is_parallel():
+    """The owner's code between two spawns inside a finish is parallel with
+    the earlier child (the DPST's step-leaf placement captures this)."""
+
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(1, 1))
+            mem.read(1)  # parallel with the child
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 1)}
+
+
+def test_escaping_async_supported():
+    def prog(rt, mem):
+        def parent():
+            rt.async_(lambda: mem.write(2, 1))
+            mem.read(2)
+
+        with rt.finish():
+            rt.async_(parent)
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 2)}
+
+
+def test_nested_finish_orders_subtree():
+    def prog(rt, mem):
+        def worker():
+            with rt.finish():
+                rt.async_(lambda: mem.write(1, 5))
+            mem.read(1)
+
+        with rt.finish():
+            rt.async_(worker)
+        mem.read(1)
+
+    det = run(prog)
+    assert not det.report.has_races
+
+
+def test_dmhp_is_order_insensitive():
+    det = SPD3Detector()
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", 2)
+    steps = {}
+
+    def prog(_rt):
+        with rt.finish():
+            rt.async_(lambda: steps.setdefault("a", det._step(rt.current_task.tid)))
+            rt.async_(lambda: steps.setdefault("b", det._step(rt.current_task.tid)))
+
+    rt.run(prog)
+    a, b = steps["a"], steps["b"]
+    assert det.dmhp(a, b) and det.dmhp(b, a)
+    assert not det.dmhp(a, a)
+
+
+def test_dpst_node_kinds():
+    det = SPD3Detector()
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", 1)
+
+    def prog(_rt):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+
+    rt.run(prog)
+    assert det.root is not None
+    assert det.root.kind is DpstNodeKind.FINISH
+    assert det.num_nodes >= 3  # root finish, explicit finish, async, step(s)
+
+
+def test_future_rejected():
+    def prog(rt, mem):
+        rt.future(lambda: 1)
+
+    with pytest.raises(UnsupportedConstructError):
+        run(prog)
+
+
+def test_get_rejected_even_if_spawn_slipped_through():
+    det = SPD3Detector()
+    with pytest.raises(UnsupportedConstructError):
+        det.on_get(None, None)
+
+
+AF_CORPUS = [
+    "race_free_sequential",
+    "parallel_writes_race",
+    "finish_orders_writes",
+    "nested_finish_race_free",
+    "escaping_async_race",
+    "async_reader_replacement",
+    "write_read_same_task",
+]
+
+
+@pytest.mark.parametrize(
+    "program", [p for p in CORPUS if p.name in AF_CORPUS], ids=lambda p: p.name
+)
+def test_agreement_with_reference_on_af_corpus(program):
+    spd3 = SPD3Detector()
+    ref = DeterminacyRaceDetector()
+    run_corpus_program(program, [spd3, ref])
+    assert spd3.racy_locations == ref.racy_locations == program.racy

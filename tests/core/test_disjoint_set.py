@@ -1,0 +1,110 @@
+"""Unit tests for the union-find structure (DTRG partition D)."""
+
+import pytest
+
+from repro.core.disjoint_set import DisjointSets
+
+
+def test_make_set_and_find_identity():
+    ds = DisjointSets()
+    ds.make_set("a")
+    assert ds.find("a") == "a"
+    assert "a" in ds
+    assert ds.num_sets == 1
+
+
+def test_duplicate_make_set_rejected():
+    ds = DisjointSets()
+    ds.make_set(1)
+    with pytest.raises(ValueError):
+        ds.make_set(1)
+
+
+def test_find_unknown_element_raises():
+    ds = DisjointSets()
+    with pytest.raises(KeyError):
+        ds.find("missing")
+
+
+def test_union_merges_and_counts():
+    ds = DisjointSets()
+    for x in range(4):
+        ds.make_set(x)
+    ds.union(0, 1)
+    ds.union(2, 3)
+    assert ds.num_sets == 2
+    assert ds.same_set(0, 1)
+    assert ds.same_set(2, 3)
+    assert not ds.same_set(1, 2)
+    ds.union(0, 3)
+    assert ds.num_sets == 1
+    assert ds.same_set(1, 2)
+
+
+def test_union_same_set_is_noop():
+    ds = DisjointSets()
+    ds.make_set("a", metadata={"tag": 1})
+    ds.make_set("b")
+    ds.union("a", "b")
+    before = ds.num_unions
+    ds.union("b", "a")
+    assert ds.num_unions == before
+    assert ds.get_metadata("a") == {"tag": 1}
+
+
+def test_metadata_follows_first_operand():
+    ds = DisjointSets()
+    ds.make_set("anc", metadata="ancestor-meta")
+    ds.make_set("desc", metadata="descendant-meta")
+    root = ds.union("anc", "desc")
+    # Whatever the physical root, the logical metadata is the ancestor's.
+    assert ds.get_metadata("anc") == "ancestor-meta"
+    assert ds.get_metadata("desc") == "ancestor-meta"
+    assert ds.find("desc") == root
+
+
+def test_metadata_survives_chained_unions():
+    ds = DisjointSets()
+    for x in "abcdef":
+        ds.make_set(x)
+    ds.set_metadata("a", "M")
+    ds.union("a", "b")
+    ds.union("c", "d")
+    ds.union("a", "c")  # keeps a's metadata, drops c's (None anyway)
+    ds.union("a", "e")
+    assert ds.get_metadata("d") == "M"
+    assert ds.get_metadata("e") == "M"
+
+
+def test_members_and_partition():
+    ds = DisjointSets()
+    for x in range(5):
+        ds.make_set(x)
+    ds.union(0, 1)
+    ds.union(0, 2)
+    assert sorted(ds.members(1)) == [0, 1, 2]
+    partition = {frozenset(group) for group in ds.as_partition()}
+    assert partition == {frozenset({0, 1, 2}), frozenset({3}), frozenset({4})}
+
+
+def test_long_chain_path_halving_terminates():
+    ds = DisjointSets()
+    n = 2000
+    for x in range(n):
+        ds.make_set(x)
+    for x in range(1, n):
+        ds.union(0, x)
+    assert ds.num_sets == 1
+    root = ds.find(0)
+    assert all(ds.find(x) == root for x in range(n))
+
+
+def test_operation_counters():
+    ds = DisjointSets()
+    ds.make_set(1)
+    ds.make_set(2)
+    before_finds = ds.num_finds
+    ds.same_set(1, 2)
+    assert ds.num_finds == before_finds + 2
+    ds.union(1, 2)
+    assert ds.num_unions == 1

@@ -1,0 +1,193 @@
+"""Unit tests for the exact timestamped detector (beyond-paper extension)."""
+
+import pytest
+
+from repro import Runtime, SharedArray
+from repro.baselines import BruteForceDetector
+from repro.core.detector import DeterminacyRaceDetector
+from repro.core.exact import ExactDetector, ExactTaskReachability
+from repro.testing.generator import (
+    Async,
+    Future,
+    Get,
+    Program,
+    Read,
+    Write,
+    run_program,
+)
+from repro.testing.programs import CORPUS, run_corpus_program
+
+
+def run(builder, locs=4):
+    det = ExactDetector()
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", locs)
+    rt.run(lambda _rt: builder(rt, mem))
+    return det
+
+
+# ---------------------------------------------------------------------- #
+# Reachability primitive                                                 #
+# ---------------------------------------------------------------------- #
+def test_program_order():
+    r = ExactTaskReachability()
+    r.add_task(0, None, False)
+    assert r.access_precedes(0, r.tick(), 0)
+
+
+def test_spawn_prefix_bound():
+    r = ExactTaskReachability()
+    r.add_task(0, None, False)
+    before = r.tick()
+    r.add_task(1, 0, True)
+    after = r.tick()
+    # the parent's access BEFORE the spawn precedes the child...
+    assert r.access_precedes(0, before, 1)
+    # ...but its access AFTER the spawn does not.
+    assert not r.access_precedes(0, after, 1)
+
+
+def test_join_orders_whole_producer():
+    r = ExactTaskReachability()
+    r.add_task(0, None, False)
+    r.add_task(1, 0, True)
+    t_in_child = r.tick()
+    r.record_join(0, 1)
+    assert r.access_precedes(1, t_in_child, 0)
+
+
+def test_join_time_bounds_consumer_suffix_only():
+    """A join into X at time tau gives paths into X's steps at/after tau,
+    which is irrelevant when the target region ends before tau."""
+    r = ExactTaskReachability()
+    r.add_task(0, None, False)
+    r.add_task(1, 0, True)            # producer P
+    t_p = r.tick()                    # access inside P
+    r.add_task(2, 0, True)            # consumer C (sibling)
+    r.record_join(0, 1)               # main joins P *after* spawning C
+    # P's access does not precede C: the join into main happened after C's
+    # spawn, so the prefix bound (spawn_time of C) excludes it.
+    assert not r.access_precedes(1, t_p, 2)
+    # but it does precede main's current step
+    assert r.access_precedes(1, t_p, 0)
+
+
+# ---------------------------------------------------------------------- #
+# Regressions: the two shrunk wild-mode counterexamples                  #
+# ---------------------------------------------------------------------- #
+def wild_verdicts(program):
+    det = ExactDetector()
+    dtrg = DeterminacyRaceDetector()
+    oracle = BruteForceDetector()
+    run_program(program, [det, dtrg, oracle], scoped_handles=False)
+    return det.racy_locations, dtrg.racy_locations, oracle.racy_locations
+
+
+def test_prefix_escape_false_positive_fixed():
+    """DESIGN.md deviation #4, FP case: `async { write x; future{} };
+    /*wild*/ get; write x` — ordered through the future's prefix path; the
+    task-level DTRG reports a spurious race, the exact detector does not."""
+    program = Program(
+        body=(
+            Async(body=(Write(loc=3), Future(body=()))),
+            Get(selector=0.9),
+            Write(loc=3),
+        ),
+        num_locs=4,
+    )
+    exact, dtrg, oracle = wild_verdicts(program)
+    assert oracle == frozenset()
+    assert exact == set()          # exact matches ground truth
+    assert dtrg == {("x", 3)}      # the documented task-level imprecision
+
+
+def test_suffix_escape_false_negative_fixed():
+    """DESIGN.md deviation #4, FN case: the write after the future spawn
+    stays parallel with the wild getter; task-level containment hides it."""
+    program = Program(
+        body=(
+            Async(body=(Future(body=()), Write(loc=2))),
+            Future(body=(Get(selector=0.4), Read(loc=2))),
+        ),
+        num_locs=4,
+    )
+    exact, dtrg, oracle = wild_verdicts(program)
+    assert oracle == {("x", 2)}
+    assert exact == {("x", 2)}
+    assert dtrg == set()           # the documented task-level miss
+
+
+def test_lemma4_breakdown_under_wild_flow():
+    """Keeping a single async reader is unsound without the discipline:
+    a wild get of a future spawned inside async A orders A's *prefix* with
+    the getter, so the retained reader can be ordered while the dropped
+    one still races."""
+    program = Program(
+        body=(
+            Async(body=(Read(loc=2), Future(body=()))),
+            Async(body=(Read(loc=2),)),
+            Get(selector=0.6),
+            Write(loc=2),
+        ),
+        num_locs=4,
+    )
+    exact, _, oracle = wild_verdicts(program)
+    assert oracle == {("x", 2)}
+    assert exact == {("x", 2)}
+
+
+# ---------------------------------------------------------------------- #
+# Agreement on the in-model corpus                                       #
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("program", CORPUS, ids=lambda p: p.name)
+def test_corpus_agreement(program):
+    det = ExactDetector()
+    run_corpus_program(program, [det])
+    assert det.racy_locations == program.racy
+
+
+def test_basic_detection_and_policies():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            rt.async_(lambda: mem.write(0, 2))
+
+    det = run(prog)
+    assert det.racy_locations == {("x", 0)}
+    from repro import RaceError
+
+    strict = ExactDetector(policy="raise")
+    rt = Runtime(observers=[strict])
+    mem = SharedArray(rt, "x", 2)
+    with pytest.raises(RaceError):
+        rt.run(lambda _rt: prog(rt, mem))
+
+
+def test_query_counters_populate():
+    def prog(rt, mem):
+        f = rt.future(lambda: mem.write(0, 1))
+        f.get()
+        mem.read(0)
+
+    det = run(prog)
+    assert det.reach.num_queries >= 1
+    assert det.reach.num_expansions >= det.reach.num_queries
+
+
+def test_bound_upgrade_reexpansion():
+    """A task first reached with a small prefix bound must be re-expanded
+    when a larger bound arrives through another path (the memo keeps the
+    max bound, not just visited-ness)."""
+    r = ExactTaskReachability()
+    r.add_task(0, None, False)   # main
+    r.add_task(1, 0, False)      # consumer C
+    a = r.tick()                 # main's access AFTER spawning C
+    r.add_task(2, 0, True)       # F, spawned after the access
+    r.record_join(1, 2)          # C joins F (wild flow)
+    # Path: access -> spawn(F) -> F end -> join -> C.  The direct parent
+    # edge only covers main's prefix before C's spawn (excludes `a`); the
+    # join path covers the prefix before F's spawn (includes `a`).
+    assert r.access_precedes(0, a, 1)
+    # and an access after F's spawn stays unordered
+    later = r.tick()
+    assert not r.access_precedes(0, later, 1)

@@ -1,0 +1,125 @@
+"""Unit tests for the online interval labeling (DTRG map L)."""
+
+import pytest
+
+from repro.core.labels import MAXID, IntervalLabel, LabelAllocator
+
+
+def simulate(spawn_script):
+    """Drive an allocator from a nested-tuple spawn script.
+
+    ``("name", [children...])`` spawns in depth-first order, terminating
+    each node after its children — the exact discipline of the runtime.
+    Returns {name: label}.
+    """
+    alloc = LabelAllocator()
+    labels = {}
+
+    def walk(node):
+        name, children = node
+        labels[name] = alloc.on_spawn()
+        for child in children:
+            walk(child)
+        alloc.on_terminate(labels[name])
+
+    walk(spawn_script)
+    return labels
+
+
+def test_single_node_interval():
+    labels = simulate(("root", []))
+    root = labels["root"]
+    assert root.pre == 0
+    assert root.post == 1
+    assert root.final
+
+
+def test_ancestor_contains_descendant():
+    labels = simulate(
+        ("r", [("a", [("aa", []), ("ab", [])]), ("b", [("ba", [])])])
+    )
+    assert labels["r"].contains(labels["a"])
+    assert labels["r"].contains(labels["ba"])
+    assert labels["a"].contains(labels["ab"])
+    assert not labels["a"].contains(labels["b"])
+    assert not labels["a"].contains(labels["ba"])
+    assert not labels["ab"].contains(labels["a"])
+
+
+def test_siblings_disjoint():
+    labels = simulate(("r", [("a", []), ("b", []), ("c", [])]))
+    for x, y in (("a", "b"), ("b", "c"), ("a", "c")):
+        assert not labels[x].contains(labels[y])
+        assert not labels[y].contains(labels[x])
+
+
+def test_temporary_postorder_ordering_mid_execution():
+    """While tasks are live, ancestors must already contain descendants."""
+    alloc = LabelAllocator()
+    root = alloc.on_spawn()
+    child = alloc.on_spawn()
+    grandchild = alloc.on_spawn()
+    # All three live: containment must hold with temporary postorders.
+    assert root.contains(child)
+    assert child.contains(grandchild)
+    assert root.contains(grandchild)
+    assert not grandchild.contains(child)
+    alloc.on_terminate(grandchild)
+    assert child.contains(grandchild)
+    alloc.on_terminate(child)
+    assert root.contains(child)
+    alloc.on_terminate(root)
+
+
+def test_completed_sibling_does_not_contain_later_spawn():
+    alloc = LabelAllocator()
+    root = alloc.on_spawn()
+    first = alloc.on_spawn()
+    alloc.on_terminate(first)
+    second = alloc.on_spawn()
+    assert not first.contains(second)
+    assert not second.contains(first)
+    assert root.contains(second)
+    alloc.on_terminate(second)
+    alloc.on_terminate(root)
+
+
+def test_temporary_values_count_down_from_maxid():
+    alloc = LabelAllocator()
+    a = alloc.on_spawn()
+    b = alloc.on_spawn()
+    assert a.post == MAXID
+    assert b.post == MAXID - 1
+    assert alloc.live_count == 2
+
+
+def test_tmpid_recycled_on_terminate():
+    alloc = LabelAllocator()
+    root = alloc.on_spawn()
+    child1 = alloc.on_spawn()
+    alloc.on_terminate(child1)
+    child2 = alloc.on_spawn()
+    # child2 reuses the temporary slot child1 released.
+    assert child2.post == MAXID - 1
+    alloc.on_terminate(child2)
+    alloc.on_terminate(root)
+    assert alloc.live_count == 0
+
+
+def test_double_terminate_rejected():
+    alloc = LabelAllocator()
+    label = alloc.on_spawn()
+    alloc.on_terminate(label)
+    with pytest.raises(ValueError):
+        alloc.on_terminate(label)
+
+
+def test_final_postorders_use_shared_counter():
+    """pre and post values interleave in one DFS counter (CLRS-style)."""
+    labels = simulate(("r", [("a", []), ("b", [])]))
+    assert labels["r"].pre == 0
+    assert labels["a"].pre == 1
+    assert labels["a"].post == 2
+    assert labels["b"].pre == 3
+    assert labels["b"].post == 4
+    assert labels["r"].post == 5

@@ -1,0 +1,70 @@
+"""Unit tests for race records and the report container."""
+
+from repro.core.races import AccessKind, Race, RaceReport
+
+
+def make(loc="x", kind=AccessKind.WRITE_WRITE, prev=1, cur=2):
+    return Race(loc=loc, kind=kind, prev_task=prev, current_task=cur,
+                prev_name=f"t{prev}", current_name=f"t{cur}")
+
+
+def test_report_collects_and_tracks_locations():
+    report = RaceReport()
+    assert not report.has_races
+    report.add(make(loc="a"))
+    report.add(make(loc="b"))
+    assert len(report) == 2
+    assert report.racy_locations == {"a", "b"}
+
+
+def test_dedupe_ignores_task_order():
+    report = RaceReport()
+    assert report.add(make(prev=1, cur=2))
+    assert not report.add(make(prev=2, cur=1))  # same unordered pair
+    assert len(report) == 1
+
+
+def test_dedupe_distinguishes_kind_and_loc():
+    report = RaceReport()
+    assert report.add(make(kind=AccessKind.WRITE_WRITE))
+    assert report.add(make(kind=AccessKind.WRITE_READ))
+    assert report.add(make(loc="other"))
+    assert len(report) == 3
+
+
+def test_no_dedupe_mode_keeps_everything():
+    report = RaceReport(dedupe=False)
+    report.add(make())
+    report.add(make())
+    assert len(report) == 2
+
+
+def test_duplicate_still_marks_location():
+    report = RaceReport()
+    report.add(make(loc="a"))
+    report.add(make(loc="a"))
+    assert report.racy_locations == {"a"}
+    assert len(report) == 1
+
+
+def test_summary_formats():
+    report = RaceReport()
+    assert "no determinacy races" in report.summary()
+    report.add(make())
+    text = report.summary()
+    assert "1 determinacy race" in text
+    assert "write-write" in text
+    assert "t1" in text and "t2" in text
+
+
+def test_kind_str():
+    assert str(AccessKind.READ_WRITE) == "read-write"
+    assert str(AccessKind.WRITE_READ) == "write-read"
+
+
+def test_iteration_order_is_insertion_order():
+    report = RaceReport()
+    first, second = make(loc="a"), make(loc="b")
+    report.add(first)
+    report.add(second)
+    assert list(report) == [first, second]

@@ -1,0 +1,28 @@
+"""Unit tests for the DOT exporter."""
+
+from repro import Runtime, SharedArray
+from repro.graph import GraphBuilder, to_dot
+
+
+def test_dot_output_structure():
+    gb = GraphBuilder()
+    rt = Runtime(observers=[gb])
+    mem = SharedArray(rt, "x", 2)
+
+    def prog(_rt):
+        f = rt.future(lambda: mem.write(0, 1), name="producer")
+        f.get()
+        mem.read(0)
+
+    rt.run(prog)
+    dot = to_dot(gb.graph, title="test graph")
+    assert dot.startswith("digraph G {")
+    assert dot.rstrip().endswith("}")
+    assert 'label="test graph"' in dot
+    assert "cluster_0" in dot and "cluster_1" in dot
+    assert "producer" in dot
+    # one line per edge
+    assert dot.count("->") == len(gb.graph.edges)
+    # every step node is declared
+    for step in gb.graph.steps:
+        assert f"s{step.sid} " in dot or f"s{step.sid} [" in dot

@@ -1,0 +1,40 @@
+"""Every example script must run clean — examples are executable docs.
+
+Each example exposes ``main()`` and asserts its own claims internally, so
+simply invoking it is a meaningful test.  Output is captured (pytest's
+capsys) to keep the suite quiet.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 10
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    module = load_module(name)
+    assert hasattr(module, "main"), f"{name} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"

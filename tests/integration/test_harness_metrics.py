@@ -1,0 +1,69 @@
+"""Unit/integration tests for the metrics collector and report rendering
+corners not covered elsewhere."""
+
+from repro import Runtime, SharedArray
+from repro.harness.metrics import Metrics, MetricsCollector
+from repro.harness.report import render_table
+
+
+def collect(builder):
+    metrics = MetricsCollector()
+    rt = Runtime(observers=[metrics])
+    mem = SharedArray(rt, "x", 8)
+    rt.run(lambda _rt: builder(rt, mem))
+    return metrics.snapshot()
+
+
+def test_task_kind_counters():
+    def prog(rt, mem):
+        rt.async_(lambda: None)
+        rt.future(lambda: None).get()
+        rt.async_(lambda: rt.future(lambda: None))
+
+    snap = collect(prog)
+    assert snap.num_tasks == 4
+    assert snap.num_async_tasks == 2
+    assert snap.num_future_tasks == 2
+    assert snap.num_gets == 1
+    assert snap.max_live_depth == 2
+
+
+def test_nt_join_classification_uses_ancestry():
+    def prog(rt, mem):
+        f = rt.future(lambda: None, name="p")
+        f.get()  # parent join: tree
+
+        def consumer():
+            f.get()  # sibling: non-tree
+
+        rt.future(consumer).get()
+
+    snap = collect(prog)
+    assert snap.num_gets == 3
+    assert snap.num_nt_joins == 1
+
+
+def test_finish_scope_counter_excludes_root():
+    def prog(rt, mem):
+        with rt.finish():
+            with rt.finish():
+                pass
+
+    snap = collect(prog)
+    assert snap.num_finish_scopes == 2
+
+
+def test_metrics_as_row():
+    snap = Metrics(num_tasks=3, num_nt_joins=1, num_reads=4, num_writes=6)
+    row = snap.as_row()
+    assert row == {"#Tasks": 3, "#NTJoins": 1, "#SharedMem": 10}
+    assert snap.num_shared_accesses == 10
+
+
+def test_render_table_empty_and_mixed_types():
+    assert render_table([]) == "(no rows)"
+    table = render_table([{"name": "x", "v": 1.5}, {"name": "longer", "v": 2}])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.50" in table
+    assert len({len(line) for line in lines}) == 1

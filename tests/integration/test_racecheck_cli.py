@@ -1,0 +1,115 @@
+"""Integration tests for the repro-racecheck CLI."""
+
+import textwrap
+
+import pytest
+
+from repro.tools.racecheck import main
+
+
+@pytest.fixture()
+def racy_program(tmp_path):
+    path = tmp_path / "racy.py"
+    path.write_text(textwrap.dedent("""
+        from repro import SharedArray
+
+        def setup(rt):
+            return SharedArray(rt, "data", 4)
+
+        def program(rt, data):
+            f = rt.future(lambda: data.write(0, 1), name="producer")
+            data.read(0)
+            f.get()
+    """))
+    return str(path)
+
+
+@pytest.fixture()
+def clean_program(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(textwrap.dedent("""
+        from repro import SharedArray
+
+        def setup(rt):
+            return SharedArray(rt, "data", 4)
+
+        def program(rt, data):
+            f = rt.future(lambda: data.write(0, 1))
+            f.get()
+            assert data.read(0) == 1
+    """))
+    return str(path)
+
+
+def test_racy_program_exit_one(racy_program, capsys):
+    assert main([racy_program]) == 1
+    out = capsys.readouterr().out
+    assert "determinacy race" in out
+    assert "producer" in out
+
+
+def test_clean_program_exit_zero(clean_program, capsys):
+    assert main([clean_program]) == 0
+    assert "no determinacy races" in capsys.readouterr().out
+
+
+def test_metrics_flag(clean_program, capsys):
+    main([clean_program, "--metrics"])
+    out = capsys.readouterr().out
+    assert "tasks: 1 (1 futures)" in out
+    assert "shared accesses: 2" in out
+
+
+def test_dot_and_trace_outputs(racy_program, tmp_path, capsys):
+    dot = tmp_path / "g.dot"
+    trace = tmp_path / "t.pkl"
+    main([racy_program, "--dot", str(dot), "--trace", str(trace)])
+    assert dot.read_text().startswith("digraph")
+    from repro.core.events import Trace
+    from repro.core.detector import DeterminacyRaceDetector
+    from repro.memory.tracer import replay_trace
+
+    loaded = Trace.load(str(trace))
+    det = DeterminacyRaceDetector()
+    replay_trace(loaded, [det])
+    assert det.report.racy_locations == {("data", 0)}
+
+
+def test_witness_flag(racy_program, capsys):
+    main([racy_program, "--witness"])
+    out = capsys.readouterr().out
+    assert "schedule witnesses" in out
+    assert "('data', 0)" in out
+
+
+def test_raise_policy(racy_program, capsys):
+    assert main([racy_program, "--policy", "raise"]) == 1
+    assert "aborted at first" in capsys.readouterr().out
+
+
+def test_unsupported_detector_exit_two(racy_program, capsys):
+    assert main([racy_program, "--detector", "espbags"]) == 2
+    assert "unsupported construct" in capsys.readouterr().err
+
+
+def test_baseline_detector_on_clean_af_program(tmp_path, capsys):
+    path = tmp_path / "af.py"
+    path.write_text(textwrap.dedent("""
+        from repro import SharedArray
+
+        def setup(rt):
+            return SharedArray(rt, "d", 2)
+
+        def program(rt, d):
+            with rt.finish():
+                rt.async_(lambda: d.write(0, 1))
+                rt.async_(lambda: d.write(1, 2))
+    """))
+    assert main([str(path), "--detector", "spd3"]) == 0
+
+
+def test_missing_entry_point(tmp_path, capsys):
+    path = tmp_path / "empty.py"
+    path.write_text("x = 1\n")
+    assert main([str(path)]) == 2
+    assert "does not define" in capsys.readouterr().err

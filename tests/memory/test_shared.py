@@ -1,0 +1,136 @@
+"""Unit tests for the instrumented shared-memory wrappers."""
+
+import numpy as np
+import pytest
+
+from repro import Runtime
+from repro.core.events import ExecutionObserver
+from repro.memory.shared import (
+    SharedArray,
+    SharedFutureCell,
+    SharedMatrix,
+    SharedNDArray,
+    SharedVar,
+)
+
+
+class AccessLog(ExecutionObserver):
+    def __init__(self):
+        self.reads = []
+        self.writes = []
+
+    def on_read(self, task, loc):
+        self.reads.append(loc)
+
+    def on_write(self, task, loc):
+        self.writes.append(loc)
+
+
+def with_runtime(builder):
+    log = AccessLog()
+    rt = Runtime(observers=[log])
+    result = {}
+    rt.run(lambda _rt: result.setdefault("v", builder(rt)))
+    return log, result["v"]
+
+
+def test_shared_var_read_write_logged():
+    def prog(rt):
+        v = SharedVar(rt, "counter", 0)
+        v.write(5)
+        assert v.read() == 5
+        assert v.peek() == 5  # peek is uninstrumented
+        return v
+
+    log, _ = with_runtime(prog)
+    assert log.writes == [("counter",)]
+    assert log.reads == [("counter",)]
+
+
+def test_shared_array_element_locations():
+    def prog(rt):
+        a = SharedArray(rt, "a", 3)
+        a.write(0, "x")
+        a.write(2, "z")
+        assert a.read(2) == "z"
+        return a
+
+    log, arr = with_runtime(prog)
+    assert log.writes == [("a", 0), ("a", 2)]
+    assert log.reads == [("a", 2)]
+    assert arr.to_list() == ["x", None, "z"]
+    assert len(arr) == 3
+
+
+def test_shared_array_from_iterable():
+    def prog(rt):
+        return SharedArray(rt, "a", [1, 2, 3])
+
+    _, arr = with_runtime(prog)
+    assert arr.to_list() == [1, 2, 3]
+
+
+def test_shared_matrix_row_col_keys():
+    def prog(rt):
+        m = SharedMatrix(rt, "m", 2, 3)
+        m.write(1, 2, "v")
+        assert m.read(1, 2) == "v"
+        assert m.peek(0, 0) is None
+        return m
+
+    log, _ = with_runtime(prog)
+    assert log.writes == [("m", 1, 2)]
+    assert log.reads == [("m", 1, 2)]
+
+
+def test_shared_ndarray_indexing_and_blocks():
+    def prog(rt):
+        nd = SharedNDArray(rt, "grid", (4, 4))
+        nd.write((1, 1), 2.5)
+        assert nd.read((1, 1)) == 2.5
+        assert nd.peek((0, 0)) == 0.0
+        block = nd.read_block((slice(0, 2), slice(0, 2)))
+        assert block.shape == (2, 2)
+        return nd
+
+    log, nd = with_runtime(prog)
+    assert ("grid", (1, 1)) in log.writes
+    assert ("grid", (1, 1)) in log.reads
+    # block read records one access per element
+    assert len(log.reads) == 1 + 4
+    assert nd.shape == (4, 4)
+
+
+def test_shared_ndarray_wraps_existing_array():
+    backing = np.arange(6, dtype=np.int64).reshape(2, 3)
+
+    def prog(rt):
+        return SharedNDArray(rt, "w", backing)
+
+    _, nd = with_runtime(prog)
+    assert nd.data is backing
+
+
+def test_future_cell_put_take():
+    def prog(rt):
+        cell = SharedFutureCell(rt, "slot")
+        assert cell.take() is None
+        f = rt.future(lambda: 5)
+        cell.put(f)
+        return cell.take().get()
+
+    log, value = with_runtime(prog)
+    assert value == 5
+    assert log.writes == [("slot",)]
+    assert log.reads == [("slot",), ("slot",)]
+
+
+def test_access_outside_run_rejected():
+    rt = Runtime()
+    var = SharedVar(rt, "v", 0)
+    from repro.runtime.errors import RuntimeStateError
+
+    with pytest.raises(RuntimeStateError):
+        var.read()
+    with pytest.raises(RuntimeStateError):
+        var.write(1)

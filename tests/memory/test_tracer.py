@@ -1,0 +1,102 @@
+"""Unit tests for trace recording and replay."""
+
+import random
+
+from repro import DeterminacyRaceDetector, Runtime, SharedArray
+from repro.baselines import BruteForceDetector
+from repro.core.events import GetEvent, ReadEvent, TaskCreateEvent, WriteEvent
+from repro.harness.metrics import MetricsCollector
+from repro.memory.tracer import TraceRecorder, replay_trace
+from repro.testing.generator import random_program, run_program
+from repro.testing.programs import CORPUS, run_corpus_program
+
+
+def record(builder):
+    recorder = TraceRecorder()
+    rt = Runtime(observers=[recorder])
+    mem = SharedArray(rt, "x", 4)
+    rt.run(lambda _rt: builder(rt, mem))
+    return recorder.trace
+
+
+def test_trace_event_sequence():
+    def prog(rt, mem):
+        f = rt.future(lambda: mem.write(0, 1))
+        f.get()
+        mem.read(0)
+
+    trace = record(prog)
+    kinds = [type(e).__name__ for e in trace]
+    assert kinds == [
+        "TaskCreateEvent",
+        "WriteEvent",
+        "TaskEndEvent",
+        "GetEvent",
+        "ReadEvent",
+    ]
+    create = trace.events[0]
+    assert isinstance(create, TaskCreateEvent)
+    assert create.parent == 0 and create.child == 1 and create.is_future
+    assert trace.counts() == (1, 1, 2)
+
+
+def test_replay_reproduces_detector_verdict():
+    def prog(rt, mem):
+        with rt.finish():
+            rt.async_(lambda: mem.write(0, 1))
+            rt.async_(lambda: mem.read(0))
+
+    trace = record(prog)
+    det = DeterminacyRaceDetector()
+    replay_trace(trace, [det])
+    assert det.report.racy_locations == {("x", 0)}
+
+
+def test_replay_matches_live_run_on_corpus():
+    for program in CORPUS:
+        recorder = TraceRecorder()
+        live = DeterminacyRaceDetector()
+        run_corpus_program(program, [recorder, live])
+        replayed = DeterminacyRaceDetector()
+        replay_trace(recorder.trace, [replayed])
+        assert replayed.racy_locations == live.racy_locations, program.name
+
+
+def test_replay_matches_live_run_on_random_programs():
+    for seed in range(30):
+        prog = random_program(random.Random(seed))
+        recorder = TraceRecorder()
+        live = DeterminacyRaceDetector()
+        run_program(prog, [recorder, live])
+        replayed = DeterminacyRaceDetector()
+        oracle = BruteForceDetector()
+        replay_trace(recorder.trace, [replayed, oracle])
+        assert replayed.racy_locations == live.racy_locations, seed
+        assert oracle.racy_locations == live.racy_locations, seed
+
+
+def test_replay_preserves_metrics():
+    def prog(rt, mem):
+        f = rt.future(lambda: mem.write(0, 1), name="p")
+        g = rt.future(lambda: (f.get(), mem.read(0)), name="c")
+        g.get()
+
+    recorder = TraceRecorder()
+    live = MetricsCollector()
+    rt = Runtime(observers=[recorder, live])
+    mem = SharedArray(rt, "x", 4)
+    rt.run(lambda _rt: prog(rt, mem))
+
+    replayed = MetricsCollector()
+    replay_trace(recorder.trace, [replayed])
+    assert replayed.snapshot() == live.snapshot()
+
+
+def test_trace_is_value_like():
+    def prog(rt, mem):
+        mem.write(1, 2)
+
+    t1, t2 = record(prog), record(prog)
+    assert t1.events == t2.events
+    assert len(t1) == 1
+    assert isinstance(t1.events[0], WriteEvent)

@@ -1,0 +1,86 @@
+"""Figure 1 — every ordering claim the paper makes about the example.
+
+"Here Stmt3, Stmt6, and Stmt8 may execute in parallel with task T_A, while
+Stmt4, Stmt7, and Stmt9 can execute only after the completion of task T_A
+… although the main task did not perform an explicit join on task T_B,
+there is a transitive join dependence from T_B to the main task … Stmt10
+can execute only after tasks T_A, T_B, and T_C complete."
+"""
+
+import pytest
+
+from repro import DeterminacyRaceDetector
+from repro.examples_lib.figure1 import (
+    run_figure1,
+    statement_location,
+)
+from repro.graph import GraphBuilder, ReachabilityClosure
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    gb = GraphBuilder()
+    det = DeterminacyRaceDetector()
+    result = run_figure1([gb, det])
+    closure = ReachabilityClosure(gb.graph)
+    return result, gb.graph, closure, det
+
+
+def step_of(graph, name):
+    return graph.accesses_by_loc[statement_location(name)][0].step
+
+
+def task_steps(graph, tid):
+    return [s.sid for s in graph.steps_of_task(tid)]
+
+
+def test_statements_parallel_with_task_a(figure1):
+    result, graph, closure, _ = figure1
+    a_steps = task_steps(graph, result.a_tid)
+    for stmt in ("Stmt3", "Stmt6", "Stmt8"):
+        s = step_of(graph, stmt)
+        assert any(closure.parallel(s, a) for a in a_steps), stmt
+
+
+def test_statements_after_task_a(figure1):
+    result, graph, closure, _ = figure1
+    a_last = graph.last_step[result.a_tid]
+    for stmt in ("Stmt4", "Stmt7", "Stmt9"):
+        s = step_of(graph, stmt)
+        assert closure.precedes(a_last, s), stmt
+
+
+def test_stmt10_after_all_three_tasks(figure1):
+    result, graph, closure, _ = figure1
+    s10 = step_of(graph, "Stmt10")
+    for tid in (result.a_tid, result.b_tid, result.c_tid):
+        assert closure.precedes(graph.last_step[tid], s10), tid
+
+
+def test_transitive_dependence_from_b_without_direct_join(figure1):
+    result, graph, closure, _ = figure1
+    # main never joined B directly: no join edge B -> main steps
+    b_last = graph.last_step[result.b_tid]
+    main_steps = set(task_steps(graph, result.main_tid))
+    direct = [
+        (src, dst)
+        for src, dst, kind in graph.edges
+        if kind.is_join and src == b_last and dst in main_steps
+    ]
+    # (the only such edge is the implicit-finish join at the very end;
+    # Stmt10 must be ordered through C, i.e. before that edge's target)
+    s10 = step_of(graph, "Stmt10")
+    assert all(dst > s10 for _, dst in direct)
+    assert closure.precedes(b_last, s10)
+
+
+def test_detector_precede_agrees_at_end(figure1):
+    result, _, _, det = figure1
+    # After the run, every future task has (transitively) joined main.
+    for tid in (result.a_tid, result.b_tid, result.c_tid):
+        assert det.precede(tid, result.main_tid)
+
+
+def test_program_is_race_free(figure1):
+    *_, det = figure1
+    assert not det.report.has_races

@@ -1,0 +1,70 @@
+"""Figure 3 / Table 1 — the DTRG snapshots, fact by fact."""
+
+import pytest
+
+from repro.examples_lib.figure3 import run_figure3
+
+
+@pytest.fixture(scope="module")
+def figure3():
+    return run_figure3()
+
+
+def test_snapshot_a_non_tree_predecessors(figure3):
+    """Table 1(a): "Task T3 performed join operations on T2 and T1.
+    Therefore P(T3) = {T1, T2}"."""
+    snap = figure3.after_step_11
+    assert set(snap.nt_preds["T3"]) == {"T1", "T2"}
+    for other in ("T0", "T1", "T2", "T4", "T5", "T6"):
+        assert snap.nt_preds[other] == ()
+
+
+def test_snapshot_a_lsa(figure3):
+    """Table 1(a): "The least significant ancestor of T4, T5 and T6 is T3
+    because T3 is their lowest ancestor which performed a non-tree join"."""
+    snap = figure3.after_step_11
+    assert snap.lsa["T4"] == "T3"
+    assert snap.lsa["T5"] == "T3"
+    assert snap.lsa["T6"] == "T3"
+    assert snap.lsa["T0"] is None
+    assert snap.lsa["T1"] is None
+    assert snap.lsa["T2"] is None
+    assert snap.lsa["T3"] is None
+
+
+def test_snapshot_a_all_singletons(figure3):
+    snap = figure3.after_step_11
+    assert sorted(len(group) for group in snap.partition) == [1] * 7
+
+
+def test_snapshot_b_tree_joined_set(figure3):
+    """Table 1(b): "T0, T3, T4, T5 and T6 are all in the same disjoint set
+    because they are connected by tree join edges"."""
+    snap = figure3.after_step_17
+    groups = {frozenset(g) for g in snap.partition}
+    assert frozenset({"T0", "T3", "T4", "T5", "T6"}) in groups
+    assert frozenset({"T1"}) in groups
+    assert frozenset({"T2"}) in groups
+
+
+def test_snapshot_b_merged_set_keeps_nt_edges(figure3):
+    """After merging, the combined set still carries T3's non-tree list
+    (Algorithm 7 unions the nt lists)."""
+    snap = figure3.after_step_17
+    assert set(snap.nt_preds["T0"]) == {"T1", "T2"}
+    assert set(snap.nt_preds["T4"]) == {"T1", "T2"}  # same set as T0
+
+
+def test_labels_nest_by_spawn_tree(figure3):
+    snap = figure3.after_step_17
+    pre = {name: label[0] for name, label in snap.labels.items()}
+    assert pre["T0"] == 0
+    assert pre["T1"] < pre["T2"] < pre["T3"] < pre["T4"] < pre["T5"] < pre["T6"]
+
+
+def test_detector_orders_everything_after_the_joins(figure3):
+    det = figure3.detector
+    tids = figure3.tids
+    for name in ("T1", "T2", "T3", "T4", "T5", "T6"):
+        assert det.precede(tids[name], tids["T0"]), name
+    assert not det.report.has_races

@@ -1,0 +1,140 @@
+"""Property tests: every detector agrees with the oracle on its own model.
+
+The paper's Section 6 taxonomy, made executable: each related-work
+algorithm is exact *within* its computation-graph class —
+
+* SPD3 and ESP-bags on async-finish (terminally strict) programs,
+* SP-bags and Offset-Span labeling on fully-strict / nested fork-join
+  programs,
+* the DTRG detector and vector clocks on everything —
+
+and each restricted detector *refuses* (rather than silently mis-answers)
+anything outside its class.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DeterminacyRaceDetector
+from repro.baselines import (
+    BruteForceDetector,
+    ESPBagsDetector,
+    OffsetSpanDetector,
+    SPBagsDetector,
+    SPD3Detector,
+)
+from repro.runtime.errors import UnsupportedConstructError
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Program,
+    Read,
+    Write,
+    program_strategy,
+    run_program,
+)
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def async_finish_programs(draw, num_locs=2, max_leaves=25):
+    """Terminally strict: async/finish only, asyncs may escape."""
+
+    def wrap(children):
+        block = st.lists(children, min_size=0, max_size=3).map(tuple)
+        return st.one_of(
+            st.builds(Async, body=block), st.builds(Finish, body=block)
+        )
+
+    leaf = st.one_of(
+        st.builds(Read, loc=st.integers(0, num_locs - 1)),
+        st.builds(Write, loc=st.integers(0, num_locs - 1)),
+    )
+    stmt = st.recursive(leaf, wrap, max_leaves=max_leaves)
+    body = st.lists(stmt, min_size=0, max_size=5).map(tuple)
+    return Program(body=draw(body), num_locs=num_locs)
+
+
+@st.composite
+def fork_join_programs(draw, num_locs=2, depth=3):
+    """Strict nested fork-join: every async wrapped in its spawner's
+    finish, owner silent between fork and join."""
+
+    def region(level):
+        # a finish whose direct children are asyncs; each async body is
+        # accesses (+ nested regions when depth remains)
+        n_children = draw(st.integers(1, 3))
+        children = []
+        for _ in range(n_children):
+            body = list(
+                draw(
+                    st.lists(
+                        st.one_of(
+                            st.builds(Read, loc=st.integers(0, num_locs - 1)),
+                            st.builds(Write, loc=st.integers(0, num_locs - 1)),
+                        ),
+                        max_size=3,
+                    )
+                )
+            )
+            if level > 0 and draw(st.booleans()):
+                body.append(region(level - 1))
+            children.append(Async(body=tuple(body)))
+        return Finish(body=tuple(children))
+
+    n_regions = draw(st.integers(0, 3))
+    body = []
+    for _ in range(n_regions):
+        body.append(
+            draw(
+                st.one_of(
+                    st.builds(Read, loc=st.integers(0, num_locs - 1)),
+                    st.builds(Write, loc=st.integers(0, num_locs - 1)),
+                )
+            )
+        )
+        body.append(region(depth - 1))
+    return Program(body=tuple(body), num_locs=num_locs)
+
+
+@given(program=async_finish_programs())
+@settings(max_examples=120, **COMMON)
+def test_spd3_and_espbags_match_oracle_on_async_finish(program):
+    spd3 = SPD3Detector()
+    esp = ESPBagsDetector()
+    dtrg = DeterminacyRaceDetector()
+    oracle = BruteForceDetector()
+    run_program(program, [spd3, esp, dtrg, oracle])
+    assert spd3.racy_locations == oracle.racy_locations, str(program)
+    assert esp.racy_locations == oracle.racy_locations, str(program)
+    assert dtrg.racy_locations == oracle.racy_locations, str(program)
+
+
+@given(program=fork_join_programs())
+@settings(max_examples=100, **COMMON)
+def test_offset_span_and_spbags_match_oracle_on_fork_join(program):
+    os_det = OffsetSpanDetector()
+    sp = SPBagsDetector()
+    oracle = BruteForceDetector()
+    run_program(program, [os_det, sp, oracle])
+    assert os_det.racy_locations == oracle.racy_locations, str(program)
+    assert sp.racy_locations == oracle.racy_locations, str(program)
+
+
+@given(program=program_strategy(num_locs=2, max_leaves=20))
+@settings(max_examples=80, **COMMON)
+def test_restricted_detectors_never_silently_wrong(program):
+    """Outside their model they raise; inside it they match the oracle."""
+    for cls in (SPD3Detector, ESPBagsDetector, SPBagsDetector,
+                OffsetSpanDetector):
+        det = cls()
+        oracle = BruteForceDetector()
+        try:
+            run_program(program, [det, oracle])
+        except UnsupportedConstructError:
+            continue
+        assert det.racy_locations == oracle.racy_locations, (
+            cls.__name__,
+            str(program),
+        )

@@ -1,0 +1,126 @@
+"""Property tests for the paper's supporting lemmas (Appendices A & B)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BruteForceDetector
+from repro.graph import EdgeKind, GraphBuilder, ReachabilityClosure
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Program,
+    Read,
+    Write,
+    program_strategy,
+    run_program,
+)
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_graph(program, extra=()):
+    gb = GraphBuilder()
+    observers = [gb, *extra]
+    run_program(program, observers)
+    return gb.graph
+
+
+@given(program=program_strategy(num_locs=2, max_leaves=20))
+@settings(max_examples=100, **COMMON)
+def test_lemma3_pseudo_transitivity(program):
+    """Lemma 3: s1, s2, s3 in depth-first order with s1 ≺ s2 and s1 ∥ s3
+    implies s2 ∥ s3 (holds for *any* of our computation graphs)."""
+    graph = build_graph(program)
+    cl = ReachabilityClosure(graph)
+    n = graph.num_steps
+    if n > 22:
+        return  # cubic check; keep it cheap
+    for s1 in range(n):
+        for s2 in range(s1 + 1, n):
+            if not cl.precedes(s1, s2):
+                continue
+            for s3 in range(s2 + 1, n):
+                if cl.parallel(s1, s3):
+                    assert cl.parallel(s2, s3), (s1, s2, s3)
+
+
+@st.composite
+def async_finish_programs(draw):
+    """Programs using only async/finish (no futures) for Lemma 4."""
+
+    def wrap(children):
+        block = st.lists(children, min_size=0, max_size=3).map(tuple)
+        return st.one_of(
+            st.builds(Async, body=block), st.builds(Finish, body=block)
+        )
+
+    leaf = st.one_of(
+        st.builds(Read, loc=st.integers(0, 1)),
+        st.builds(Write, loc=st.integers(0, 1)),
+    )
+    stmt = st.recursive(leaf, wrap, max_leaves=20)
+    body = st.lists(stmt, min_size=0, max_size=5).map(tuple)
+    return Program(body=draw(body), num_locs=2)
+
+
+@given(program=async_finish_programs())
+@settings(max_examples=100, **COMMON)
+def test_lemma4_async_transitive_parallelism(program):
+    """Lemma 4: for async tasks, s1 ∥ s2 and s2 ∥ s3 (in DFS order)
+    implies s1 ∥ s3 — the fact that lets the shadow memory keep a single
+    async reader."""
+    graph = build_graph(program)
+    cl = ReachabilityClosure(graph)
+    n = graph.num_steps
+    if n > 22:
+        return
+    for s1 in range(n):
+        for s2 in range(s1 + 1, n):
+            if not cl.parallel(s1, s2):
+                continue
+            for s3 in range(s2 + 1, n):
+                if cl.parallel(s2, s3):
+                    assert cl.parallel(s1, s3), (s1, s2, s3)
+
+
+@given(program=program_strategy(num_locs=2, max_leaves=25))
+@settings(max_examples=100, **COMMON)
+def test_lemma1_spawn_continuation_precedes_joiners(program):
+    """Lemma 1 (Appendix A): in a race-free program, the step holding a
+    future's reference (the spawner's continuation) precedes every step
+    that follows a join on that future."""
+    oracle = BruteForceDetector()
+    gb = GraphBuilder()
+    run_program(program, [gb, oracle])
+    if oracle.report.has_races:
+        return  # the lemma is conditioned on race freedom
+    graph = gb.graph
+    cl = ReachabilityClosure(graph)
+    spawn_cont = {}  # first step of task T -> spawner's continuation step
+    for src, dst, kind in graph.edges:
+        if kind is EdgeKind.SPAWN:
+            # the continuation is src's continue-successor
+            conts = [
+                d for s, d, k in graph.edges
+                if s == src and k is EdgeKind.CONTINUE
+            ]
+            if conts:
+                spawn_cont[dst] = conts[0]
+    for src, dst, kind in graph.edges:
+        if kind not in (EdgeKind.JOIN_TREE, EdgeKind.JOIN_NON_TREE):
+            continue
+        producer_task = graph.steps[src].task
+        first = graph.first_step[producer_task]
+        s_m = spawn_cont.get(first)
+        if s_m is None:
+            continue
+        assert cl.precedes(s_m, dst) or s_m == dst, (s_m, dst)
+
+
+@given(program=program_strategy(num_locs=2, max_leaves=25))
+@settings(max_examples=100, **COMMON)
+def test_lemma2_graph_is_acyclic_and_dfs_compatible(program):
+    """Lemma 2's consequence: the computation graph of any execution is a
+    DAG whose edges all point forward in depth-first order."""
+    graph = build_graph(program)
+    assert all(src < dst for src, dst, _ in graph.edges)

@@ -1,0 +1,172 @@
+"""Unit tests for accumulators and the forall sugar."""
+
+import operator
+
+import pytest
+
+from repro import DeterminacyRaceDetector, Runtime, RuntimeStateError
+from repro.runtime.accumulator import Accumulator
+
+
+def test_parallel_sum_is_race_free_and_correct():
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+    out = {}
+
+    def prog(rt):
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity=0)
+            for i in range(10):
+                rt.async_(lambda i=i: acc.put(i))
+        out["total"] = acc.get()
+
+    rt.run(prog)
+    assert out["total"] == sum(range(10))
+    assert not det.report.has_races  # puts are synchronization, not memory
+
+
+def test_multiple_puts_per_task_combine():
+    rt = Runtime()
+    out = {}
+
+    def prog(rt):
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity=0)
+
+            def worker():
+                acc.put(1)
+                acc.put(2)
+
+            rt.async_(worker)
+            rt.async_(worker)
+            assert acc.num_contributors <= 2
+        out["v"] = acc.get()
+
+    rt.run(prog)
+    assert out["v"] == 6
+
+
+def test_owner_may_also_put():
+    rt = Runtime()
+    out = {}
+
+    def prog(rt):
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity=0)
+            acc.put(100)
+            rt.async_(lambda: acc.put(1))
+        out["v"] = acc.get()
+
+    rt.run(prog)
+    assert out["v"] == 101
+
+
+def test_get_before_finish_closes_rejected():
+    rt = Runtime()
+
+    def prog(rt):
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity=0)
+            rt.async_(lambda: acc.put(1))
+            with pytest.raises(RuntimeStateError):
+                acc.get()
+
+    rt.run(prog)
+
+
+def test_put_after_finish_closes_rejected():
+    rt = Runtime()
+
+    def prog(rt):
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity=0)
+        with pytest.raises(RuntimeStateError):
+            acc.put(1)
+
+    rt.run(prog)
+
+
+def test_registering_on_closed_scope_rejected():
+    rt = Runtime()
+
+    def prog(rt):
+        with rt.finish() as scope:
+            pass
+        with pytest.raises(RuntimeStateError):
+            Accumulator(rt, scope, op=operator.add, identity=0)
+
+    rt.run(prog)
+
+
+def test_deterministic_fold_order_for_associative_op():
+    """Fold order is task-id order, not completion order: string concat
+    (associative, non-commutative) stays deterministic."""
+    rt = Runtime()
+    out = {}
+
+    def prog(rt):
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity="")
+            for ch in "abcde":
+                rt.async_(lambda ch=ch: acc.put(ch))
+        out["v"] = acc.get()
+
+    rt.run(prog)
+    assert out["v"] == "abcde"
+
+
+def test_nqueens_with_accumulator_fixes_the_racy_counter():
+    """The principled fix for workloads.nqueens.run_racy_counter."""
+    from repro.workloads import nqueens
+
+    params = nqueens.default_params("tiny")
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+    out = {}
+
+    def prog(rt):
+        n, cutoff = params.n, params.cutoff
+        with rt.finish() as scope:
+            acc = Accumulator(rt, scope, op=operator.add, identity=0)
+
+            def explore(placement):
+                if len(placement) >= cutoff:
+                    acc.put(nqueens._count_sequential(placement, n))
+                    return
+                with rt.finish():
+                    for col in range(n):
+                        if nqueens._safe(placement, col):
+                            rt.async_(explore, placement + (col,))
+
+            explore(())
+        out["count"] = acc.get()
+
+    rt.run(prog)
+    nqueens.verify(params, out["count"])
+    assert not det.report.has_races
+
+
+def test_forall_sugar():
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+    from repro import SharedArray
+
+    results = SharedArray(rt, "r", 8)
+
+    def prog(rt):
+        rt.forall(range(8), lambda i: results.write(i, i * i))
+        return [results.read(i) for i in range(8)]
+
+    values = rt.run(prog)
+    assert values == [i * i for i in range(8)]
+    assert not det.report.has_races
+
+
+def test_forall_racy_body_detected():
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+    from repro import SharedVar
+
+    cell = SharedVar(rt, "c", 0)
+    rt.run(lambda rt: rt.forall(range(4), lambda i: cell.write(i)))
+    assert det.report.racy_locations == {("c",)}

@@ -1,0 +1,120 @@
+"""Unit tests for the OpenMP-style depends layer."""
+
+from repro import DeterminacyRaceDetector, Runtime, SharedArray
+from repro.harness.metrics import MetricsCollector
+from repro.runtime.depends import DependsTaskGroup
+
+
+def run(builder):
+    det = DeterminacyRaceDetector()
+    metrics = MetricsCollector()
+    rt = Runtime(observers=[det, metrics])
+    mem = SharedArray(rt, "x", 8)
+    rt.run(lambda _rt: builder(rt, mem))
+    return det, metrics
+
+
+def test_out_then_in_serializes():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        group.task(lambda: mem.write(0, 1), out=["d0"])
+        group.task(lambda: mem.read(0), in_=["d0"])
+        group.wait_all()
+
+    det, _ = run(prog)
+    assert not det.report.has_races
+
+
+def test_missing_dependence_races():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        group.task(lambda: mem.write(0, 1), out=["d0"])
+        group.task(lambda: mem.read(0))  # forgot in_: real race
+        group.wait_all()
+
+    det, _ = run(prog)
+    assert det.report.racy_locations == {("x", 0)}
+
+
+def test_inout_chains_serialize_writers():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        for v in range(4):
+            group.task(lambda v=v: mem.write(1, v), inout=["acc"])
+        group.wait_all()
+        assert mem.read(1) == 3
+
+    det, _ = run(prog)
+    assert not det.report.has_races
+
+
+def test_write_after_read_waits_for_all_readers():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        group.task(lambda: mem.write(2, 5), out=["d"])
+        group.task(lambda: mem.read(2), in_=["d"])
+        group.task(lambda: mem.read(2), in_=["d"])
+        group.task(lambda: mem.write(2, 6), out=["d"])  # waits both readers
+        group.wait_all()
+
+    det, _ = run(prog)
+    assert not det.report.has_races
+
+
+def test_independent_tasks_have_no_joins_between_them():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        group.task(lambda: mem.write(0, 1), out=["a"])
+        group.task(lambda: mem.write(1, 2), out=["b"])
+        group.wait_all()
+
+    det, metrics = run(prog)
+    assert not det.report.has_races
+    # Only the two wait_all tree joins; no sibling (non-tree) joins.
+    assert metrics.num_nt_joins == 0
+    assert metrics.num_gets == 2
+
+
+def test_sibling_dependences_are_non_tree_joins():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        group.task(lambda: mem.write(0, 1), out=["d"])
+        group.task(lambda: mem.read(0), in_=["d"])
+        group.wait_all()
+
+    _, metrics = run(prog)
+    assert metrics.num_nt_joins == 1  # the in-task get of the sibling
+
+
+def test_dedup_of_repeated_dependences():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        group.task(lambda: mem.write(0, 1), out=["a", "b"])
+        # depends on the same producer through two locations: one get
+        group.task(lambda: mem.read(0), in_=["a", "b"])
+        group.wait_all()
+
+    _, metrics = run(prog)
+    assert metrics.num_nt_joins == 1
+
+
+def test_group_len_counts_tasks():
+    def prog(rt, mem):
+        group = DependsTaskGroup(rt)
+        for _ in range(5):
+            group.task(lambda: None)
+        assert len(group) == 5
+        group.wait_all()
+
+    run(prog)
+
+
+def test_task_returns_handle_with_value():
+    rt = Runtime()
+
+    def prog(rt):
+        group = DependsTaskGroup(rt)
+        h = group.task(lambda: 99, out=["r"])
+        return h.get()
+
+    assert rt.run(prog) == 99

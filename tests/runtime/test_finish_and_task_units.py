@@ -1,0 +1,139 @@
+"""Focused unit tests for FinishScope, Task, and error types."""
+
+import pytest
+
+from repro import (
+    NullFutureError,
+    RaceError,
+    ReproError,
+    Runtime,
+    RuntimeStateError,
+    Task,
+    TaskKind,
+    UnsupportedConstructError,
+)
+from repro.core.races import AccessKind, Race
+from repro.runtime.finish import FinishScope
+
+
+def make_task(tid=0, kind=TaskKind.MAIN, parent=None):
+    return Task(tid, kind, parent=parent, ief=None)
+
+
+# ---------------------------------------------------------------------- #
+# Task                                                                   #
+# ---------------------------------------------------------------------- #
+def test_task_kinds_and_flags():
+    main = make_task()
+    assert main.is_main and not main.is_future
+    fut = make_task(1, TaskKind.FUTURE, parent=main)
+    assert fut.is_future and not fut.is_main
+    asy = make_task(2, TaskKind.ASYNC, parent=fut)
+    assert not asy.is_future
+
+
+def test_task_depth_and_ancestry():
+    a = make_task(0)
+    b = make_task(1, TaskKind.ASYNC, parent=a)
+    c = make_task(2, TaskKind.FUTURE, parent=b)
+    assert (a.depth, b.depth, c.depth) == (0, 1, 2)
+    assert a.is_ancestor_of(c)
+    assert b.is_ancestor_of(c)
+    assert not c.is_ancestor_of(a)
+    assert not a.is_ancestor_of(a)  # proper ancestry
+    assert list(c.ancestors()) == [b, a]
+
+
+def test_task_default_names():
+    t = make_task(7, TaskKind.ASYNC, parent=make_task())
+    assert t.name == "async#7"
+    named = Task(8, TaskKind.FUTURE, parent=None, ief=None, name="worker")
+    assert named.name == "worker"
+    assert "worker" in repr(named)
+
+
+# ---------------------------------------------------------------------- #
+# FinishScope                                                            #
+# ---------------------------------------------------------------------- #
+def test_scope_registration_and_close():
+    owner = make_task()
+    scope = FinishScope(0, owner, enclosing=None)
+    child = make_task(1, TaskKind.ASYNC, parent=owner)
+    scope.register(child)
+    assert scope.joins == [child]
+    scope.closed = True
+    with pytest.raises(ValueError):
+        scope.register(child)
+
+
+def test_scope_depth_chain():
+    owner = make_task()
+    root = FinishScope(0, owner, enclosing=None)
+    mid = FinishScope(1, owner, enclosing=root)
+    leaf = FinishScope(2, owner, enclosing=mid)
+    assert (root.depth, mid.depth, leaf.depth) == (0, 1, 2)
+    assert "owner=main#0" in repr(root)
+
+
+# ---------------------------------------------------------------------- #
+# Errors                                                                 #
+# ---------------------------------------------------------------------- #
+def test_error_hierarchy():
+    for cls in (RuntimeStateError, NullFutureError, UnsupportedConstructError):
+        assert issubclass(cls, ReproError)
+    race = Race(loc=("x",), kind=AccessKind.WRITE_WRITE,
+                prev_task=1, current_task=2)
+    err = RaceError(race)
+    assert err.race is race
+    assert "write-write" in str(err)
+
+
+# ---------------------------------------------------------------------- #
+# Exception hygiene in the runtime                                       #
+# ---------------------------------------------------------------------- #
+def test_exception_inside_nested_finish_unwinds_cleanly():
+    rt = Runtime()
+
+    def prog(rt):
+        with pytest.raises(ValueError):
+            with rt.finish():
+                with rt.finish():
+                    raise ValueError("boom")
+        # the stack is restored: further scopes work
+        with rt.finish():
+            rt.async_(lambda: None)
+        return "done"
+
+    assert rt.run(prog) == "done"
+
+
+def test_exception_inside_task_restores_current_task():
+    rt = Runtime()
+
+    def prog(rt):
+        main = rt.current_task
+        with pytest.raises(RuntimeError):
+            rt.async_(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        assert rt.current_task is main
+        return True
+
+    assert rt.run(prog)
+
+
+def test_task_exception_recorded_on_task_object():
+    rt = Runtime()
+    holder = {}
+
+    def prog(rt):
+        def boom():
+            raise KeyError("k")
+
+        try:
+            rt.async_(boom)
+        except KeyError:
+            pass
+        # spawn another to find the failed one's record
+        holder["count"] = rt.num_tasks
+
+    rt.run(prog)
+    assert holder["count"] == 2

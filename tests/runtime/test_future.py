@@ -1,0 +1,100 @@
+"""Unit tests for future handles and get() semantics."""
+
+import pytest
+
+from repro import NullFutureError, Runtime
+from repro.core.events import ExecutionObserver
+
+
+class GetCounter(ExecutionObserver):
+    def __init__(self):
+        self.gets = []
+
+    def on_get(self, consumer, producer):
+        self.gets.append((consumer.tid, producer.tid))
+
+
+def test_get_returns_value():
+    rt = Runtime()
+    out = {}
+
+    def prog(rt):
+        f = rt.future(lambda: 7)
+        out["v"] = f.get()
+
+    rt.run(prog)
+    assert out["v"] == 7
+
+
+def test_get_is_observable_every_call():
+    counter = GetCounter()
+    rt = Runtime(observers=[counter])
+
+    def prog(rt):
+        f = rt.future(lambda: 1)
+        f.get()
+        f.get()
+
+    rt.run(prog)
+    assert counter.gets == [(0, 1), (0, 1)]
+
+
+def test_multiple_consumers_join_same_future():
+    counter = GetCounter()
+    rt = Runtime(observers=[counter])
+
+    def prog(rt):
+        f = rt.future(lambda: 1, name="shared")
+
+        def consumer():
+            return f.get()
+
+        g1 = rt.future(consumer)
+        g2 = rt.future(consumer)
+        assert g1.get() == 1 and g2.get() == 1
+
+    rt.run(prog)
+    producers = [p for (_, p) in counter.gets]
+    assert producers.count(1) == 2  # both siblings joined the future
+
+
+def test_done_flag():
+    rt = Runtime()
+
+    def prog(rt):
+        f = rt.future(lambda: None)
+        assert f.done  # depth-first: complete at creation
+
+    rt.run(prog)
+
+
+def test_null_checked_get_helper():
+    rt = Runtime()
+
+    def prog(rt):
+        with pytest.raises(NullFutureError):
+            rt.get(None)
+        return rt.get(rt.future(lambda: 3))
+
+    assert rt.run(prog) == 3
+
+
+def test_future_of_future_value():
+    rt = Runtime()
+
+    def prog(rt):
+        inner = rt.future(lambda: 10)
+        outer = rt.future(lambda: inner)  # future returning a handle
+        return outer.get().get()
+
+    assert rt.run(prog) == 10
+
+
+def test_repr_mentions_task():
+    rt = Runtime()
+
+    def prog(rt):
+        f = rt.future(lambda: None, name="named")
+        assert "named" in repr(f)
+
+    rt.run(prog)

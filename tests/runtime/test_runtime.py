@@ -1,0 +1,253 @@
+"""Unit tests for the serial depth-first runtime semantics (Section 2)."""
+
+import pytest
+
+from repro import Runtime, RuntimeStateError, TaskKind
+from repro.core.events import ExecutionObserver
+
+
+class Recorder(ExecutionObserver):
+    """Flat log of every hook invocation, for order assertions."""
+
+    def __init__(self):
+        self.log = []
+
+    def on_init(self, main):
+        self.log.append(("init", main.tid))
+
+    def on_task_create(self, parent, child):
+        self.log.append(("create", parent.tid, child.tid))
+
+    def on_task_end(self, task):
+        self.log.append(("end", task.tid))
+
+    def on_get(self, consumer, producer):
+        self.log.append(("get", consumer.tid, producer.tid))
+
+    def on_finish_start(self, scope):
+        self.log.append(("fstart", scope.fid))
+
+    def on_finish_end(self, scope):
+        self.log.append(("fend", scope.fid))
+
+    def on_read(self, task, loc):
+        self.log.append(("read", task.tid, loc))
+
+    def on_write(self, task, loc):
+        self.log.append(("write", task.tid, loc))
+
+    def on_shutdown(self, main):
+        self.log.append(("shutdown", main.tid))
+
+
+def test_run_returns_program_result():
+    rt = Runtime()
+    assert rt.run(lambda _rt: 42) == 42
+
+
+def test_main_task_identity():
+    rt = Runtime()
+    seen = {}
+
+    def prog(rt):
+        task = rt.current_task
+        seen["tid"] = task.tid
+        seen["kind"] = task.kind
+        seen["ief"] = task.ief
+
+    rt.run(prog)
+    assert seen["tid"] == 0
+    assert seen["kind"] is TaskKind.MAIN
+    assert seen["ief"] is None
+    assert rt.current_task is None  # cleared after the run
+
+
+def test_depth_first_execution_order():
+    order = []
+    rt = Runtime()
+
+    def prog(rt):
+        order.append("pre")
+        rt.async_(lambda: order.append("child"))
+        order.append("post")
+
+    rt.run(prog)
+    assert order == ["pre", "child", "post"]
+
+
+def test_nested_spawns_depth_first():
+    order = []
+    rt = Runtime()
+
+    def prog(rt):
+        def outer():
+            order.append("outer-start")
+            rt.async_(lambda: order.append("inner"))
+            order.append("outer-end")
+
+        rt.async_(outer)
+        order.append("main")
+
+    rt.run(prog)
+    assert order == ["outer-start", "inner", "outer-end", "main"]
+
+
+def test_task_ids_are_spawn_order():
+    rt = Runtime()
+    tids = []
+
+    def prog(rt):
+        tids.append(rt.async_(lambda: None).tid)
+        tids.append(rt.future(lambda: None).task.tid)
+        tids.append(rt.async_(lambda: None).tid)
+
+    rt.run(prog)
+    assert tids == [1, 2, 3]
+    assert rt.num_tasks == 4  # + main
+
+
+def test_event_bracket_order():
+    rec = Recorder()
+    rt = Runtime(observers=[rec])
+
+    def prog(rt):
+        with rt.finish():
+            rt.async_(lambda: None)
+
+    rt.run(prog)
+    assert rec.log == [
+        ("init", 0),
+        ("fstart", 0),   # implicit root finish
+        ("fstart", 1),
+        ("create", 0, 1),
+        ("end", 1),
+        ("fend", 1),
+        ("fend", 0),
+        ("end", 0),
+        ("shutdown", 0),
+    ]
+
+
+def test_ief_assignment_follows_dynamic_scope():
+    rt = Runtime()
+    iefs = {}
+
+    def prog(rt):
+        with rt.finish() as outer:
+            def parent():
+                # no finish in between: child escapes to `outer`
+                child = rt.async_(lambda: None)
+                iefs["escaping"] = child.ief.fid
+                with rt.finish() as inner:
+                    child2 = rt.async_(lambda: None)
+                    iefs["inner"] = child2.ief.fid
+                iefs["inner_fid"] = inner.fid
+
+            rt.async_(parent)
+            iefs["outer_fid"] = outer.fid
+
+    rt.run(prog)
+    assert iefs["escaping"] == iefs["outer_fid"]
+    assert iefs["inner"] == iefs["inner_fid"]
+
+
+def test_finish_joins_record_registered_tasks():
+    rt = Runtime()
+    joined = {}
+
+    def prog(rt):
+        with rt.finish() as scope:
+            rt.async_(lambda: None, name="a")
+            rt.async_(lambda: None, name="b")
+        joined["names"] = [t.name for t in scope.joins]
+
+    rt.run(prog)
+    assert joined["names"] == ["a", "b"]
+
+
+def test_spawn_outside_run_rejected():
+    rt = Runtime()
+    with pytest.raises(RuntimeStateError):
+        rt.async_(lambda: None)
+
+
+def test_finish_outside_run_rejected():
+    rt = Runtime()
+    with pytest.raises(RuntimeStateError):
+        with rt.finish():
+            pass
+
+
+def test_runtime_is_single_use():
+    rt = Runtime()
+    rt.run(lambda _rt: None)
+    with pytest.raises(RuntimeStateError):
+        rt.run(lambda _rt: None)
+
+
+def test_add_observer_after_start_rejected():
+    rt = Runtime()
+
+    def prog(rt):
+        with pytest.raises(RuntimeStateError):
+            rt.add_observer(Recorder())
+
+    rt.run(prog)
+
+
+def test_child_exception_propagates_and_marks_task():
+    rt = Runtime()
+    tasks = {}
+
+    def prog(rt):
+        def boom():
+            raise ValueError("boom")
+
+        try:
+            rt.async_(boom)
+        except ValueError:
+            tasks["raised"] = True
+
+    rt.run(prog)
+    assert tasks.get("raised")
+
+
+def test_args_and_kwargs_forwarded():
+    rt = Runtime()
+    out = {}
+
+    def prog(rt):
+        f = rt.future(lambda a, b=0: a + b, 40, b=2)
+        out["v"] = f.get()
+
+    rt.run(prog)
+    assert out["v"] == 42
+
+
+def test_task_value_and_completed_flags():
+    rt = Runtime()
+    info = {}
+
+    def prog(rt):
+        t = rt.async_(lambda: "ret")
+        info["completed"] = t.completed
+        info["value"] = t.value
+
+    rt.run(prog)
+    assert info == {"completed": True, "value": "ret"}
+
+
+def test_depth_tracking():
+    rt = Runtime()
+    depths = []
+
+    def prog(rt):
+        def level(d):
+            depths.append(rt.current_task.depth)
+            if d:
+                rt.async_(level, d - 1)
+
+        rt.async_(level, 2)
+
+    rt.run(prog)
+    assert depths == [1, 2, 3]

@@ -1,0 +1,96 @@
+"""Unit tests for the IDEA implementation and the Crypt workload."""
+
+import pytest
+
+from repro.workloads import crypt_idea as ci
+from repro.workloads.common import run_instrumented
+
+
+def test_mul_is_group_operation():
+    """IDEA multiplication forms a group on {1..65536} (0 encodes 65536)."""
+    assert ci._mul(1, 1) == 1
+    assert ci._mul(0, 1) == 0        # 65536 * 1 = 65536 -> encoded 0
+    assert ci._mul(0, 0) == 1        # 65536^2 mod 65537 = (-1)^2 = 1
+    for a in (1, 2, 3, 255, 4097, 65535, 0):
+        inv = ci._mul_inv(a)
+        assert ci._mul(a, inv) == 1, a
+
+
+def test_add_inverse():
+    for a in (0, 1, 77, 65535):
+        assert (a + ci._add_inv(a)) & 0xFFFF == 0
+
+
+def test_key_schedule_produces_52_subkeys():
+    keys = ci.key_schedule(0x0123456789ABCDEF0123456789ABCDEF)
+    assert len(keys) == 52
+    assert all(0 <= k <= 0xFFFF for k in keys)
+    # first eight are the key words verbatim
+    assert keys[0] == 0x0123 and keys[7] == 0xCDEF
+
+
+def test_key_schedule_rotation():
+    # key = 1 (LSB set): after one 25-bit rotation the bit appears at
+    # position 25 from the bottom -> word index (127-25)//16 from the top.
+    keys = ci.key_schedule(1)
+    assert keys[:8] == [0, 0, 0, 0, 0, 0, 0, 1]
+    second_block = keys[8:16]
+    assert sum(1 for k in second_block if k) == 1
+
+
+def test_block_roundtrip_many_keys():
+    for key in (0, 1, 0x2B7E151628AED2A6FFEEDDCCBBAA9988, (1 << 128) - 1):
+        enc = ci.key_schedule(key)
+        dec = ci.inverse_key_schedule(enc)
+        for block in [(0, 0, 0, 0), (1, 2, 3, 4), (0xFFFF,) * 4,
+                      (0x0123, 0x4567, 0x89AB, 0xCDEF)]:
+            cipher = ci.encrypt_block(block, enc)
+            assert ci.encrypt_block(cipher, dec) == block, (key, block)
+
+
+def test_encryption_is_not_identity():
+    enc = ci.key_schedule(0xDEADBEEF)
+    assert ci.encrypt_block((1, 2, 3, 4), enc) != (1, 2, 3, 4)
+
+
+def test_serial_roundtrip():
+    params = ci.default_params("tiny")
+    result = ci.serial(params)
+    assert result.roundtrip == result.plaintext
+    assert result.ciphertext != result.plaintext
+    assert len(result.ciphertext) == params.num_bytes
+
+
+def test_chunk_partition_covers_blocks():
+    ranges = ci._chunks(10, 4)
+    covered = []
+    for lo, hi in ranges:
+        covered.extend(range(lo, hi))
+    assert covered == list(range(10))
+
+
+@pytest.mark.parametrize("entry", ["run_af", "run_future"])
+def test_parallel_variants_correct_and_race_free(entry):
+    params = ci.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: getattr(ci, entry)(rt, params), detect=True
+    )
+    ci.verify(params, run.result)
+    assert not run.races
+    assert run.metrics.num_nt_joins == 0  # Table 2: all joins are tree joins
+
+
+def test_future_variant_access_delta_is_two_per_task():
+    params = ci.default_params("tiny")
+    af = run_instrumented(lambda rt: ci.run_af(rt, params), detect=False)
+    fut = run_instrumented(lambda rt: ci.run_future(rt, params), detect=False)
+    delta = fut.metrics.num_shared_accesses - af.metrics.num_shared_accesses
+    assert delta == 2 * fut.metrics.num_tasks
+
+
+def test_future_variant_has_more_stored_readers():
+    params = ci.default_params("tiny")
+    af = run_instrumented(lambda rt: ci.run_af(rt, params), detect=True)
+    fut = run_instrumented(lambda rt: ci.run_future(rt, params), detect=True)
+    assert 0.0 <= af.avg_readers <= 1.0
+    assert fut.avg_readers > af.avg_readers

@@ -1,0 +1,99 @@
+"""Unit tests for the Jacobi stencil workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import jacobi
+from repro.workloads.common import run_instrumented
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        jacobi.JacobiParams(interior=10, tile=4)
+
+
+def test_serial_matches_reference_loop():
+    params = jacobi.JacobiParams(interior=4, tile=2, sweeps=3)
+    expected = jacobi.serial(params)
+    # independent reference: explicit python loops
+    u = jacobi._initial_grid(params)
+    v = u.copy()
+    for _ in range(params.sweeps):
+        for i in range(1, params.n - 1):
+            for j in range(1, params.n - 1):
+                v[i, j] = 0.25 * (
+                    u[i - 1, j] + u[i + 1, j] + u[i, j - 1] + u[i, j + 1]
+                )
+        u, v = v, u
+    assert np.allclose(expected, u, rtol=1e-12, atol=1e-14)
+
+
+def test_boundary_unchanged():
+    params = jacobi.default_params("tiny")
+    result = jacobi.serial(params)
+    initial = jacobi._initial_grid(params)
+    assert np.array_equal(result[0, :], initial[0, :])
+    assert np.array_equal(result[:, -1], initial[:, -1])
+
+
+@pytest.mark.parametrize("entry", ["run_af", "run_future"])
+def test_parallel_variants_correct_and_race_free(entry):
+    params = jacobi.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: getattr(jacobi, entry)(rt, params), detect=True
+    )
+    jacobi.verify(params, run.result)
+    assert not run.races, run.detector.report.summary()
+
+
+def test_future_variant_has_non_tree_joins_af_does_not():
+    params = jacobi.default_params("tiny")
+    af = run_instrumented(lambda rt: jacobi.run_af(rt, params), detect=False)
+    fut = run_instrumented(
+        lambda rt: jacobi.run_future(rt, params), detect=False
+    )
+    assert af.metrics.num_nt_joins == 0
+    assert fut.metrics.num_nt_joins > 0
+    # same tile-task count either way
+    assert af.metrics.num_tasks == fut.metrics.num_tasks
+    assert (
+        af.metrics.num_tasks
+        == params.tiles_per_side ** 2 * params.sweeps
+    )
+
+
+def test_access_count_formula():
+    """4 reads + 1 write per interior cell per sweep."""
+    params = jacobi.default_params("tiny")
+    run = run_instrumented(lambda rt: jacobi.run_af(rt, params), detect=False)
+    expected = params.interior ** 2 * 5 * params.sweeps
+    assert run.metrics.num_shared_accesses == expected
+
+
+def test_missing_dependence_is_caught():
+    """Sanity: drop the neighbor dependences and the detector fires."""
+    from repro.runtime.depends import DependsTaskGroup
+
+    params = jacobi.default_params("tiny")
+
+    def broken(rt):
+        u, v = jacobi._setup(rt, params)
+        group = DependsTaskGroup(rt)
+        t = params.tiles_per_side
+        for sweep in range(2):
+            for bi in range(t):
+                for bj in range(t):
+                    r0 = 1 + bi * params.tile
+                    c0 = 1 + bj * params.tile
+                    # out-dep only: readers of neighbors race across sweeps
+                    group.task(
+                        jacobi._compute_tile,
+                        u, v, r0, r0 + params.tile, c0, c0 + params.tile,
+                        out=[("t", bi, bj, sweep)],
+                    )
+            u, v = v, u
+        group.wait_all()
+        return u
+
+    run = run_instrumented(broken, detect=True)
+    assert run.races

@@ -1,0 +1,110 @@
+"""Unit tests for the blocked-LU extension workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import lufact
+from repro.workloads.common import run_instrumented
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        lufact.LUParams(n=20, tile=8)
+
+
+def test_input_is_diagonally_dominant():
+    params = lufact.default_params("tiny")
+    a = lufact._input_matrix(params)
+    for i in range(params.n):
+        off = np.abs(a[i]).sum() - abs(a[i, i])
+        assert abs(a[i, i]) > off
+
+
+def test_tile_lu_kernel():
+    rng = np.random.default_rng(1)
+    a = rng.random((6, 6)) + 6 * np.eye(6)
+    packed = lufact._lu_inplace(a.copy())
+    l, u = lufact._split_lu(packed)
+    assert np.allclose(l @ u, a)
+
+
+def test_panel_solves():
+    rng = np.random.default_rng(2)
+    kk = lufact._lu_inplace(rng.random((4, 4)) + 4 * np.eye(4))
+    l, u = lufact._split_lu(kk)
+    b = rng.random((4, 4))
+    x = lufact._lower_solve(kk, b)
+    assert np.allclose(l @ x, b)
+    y = lufact._upper_solve(kk, b)
+    assert np.allclose(y @ u, b)
+
+
+def test_serial_factorization_reconstructs():
+    params = lufact.default_params("small")
+    packed = lufact.serial(params)
+    l, u = lufact._split_lu(packed)
+    assert np.allclose(l @ u, lufact._input_matrix(params), rtol=1e-8)
+
+
+@pytest.mark.parametrize("scale", ["tiny", "small"])
+def test_parallel_matches_serial_and_race_free(scale):
+    params = lufact.default_params(scale)
+    run = run_instrumented(
+        lambda rt: lufact.run_future(rt, params), detect=True
+    )
+    lufact.verify(params, run.result)
+    assert not run.races, run.detector.report.summary()
+
+
+def test_task_graph_shape():
+    params = lufact.LUParams(n=32, tile=8)  # 4x4 tiles
+    run = run_instrumented(
+        lambda rt: lufact.run_future(rt, params), detect=False
+    )
+    t = params.tiles
+    expected_tasks = sum(
+        1 + 2 * (t - 1 - k) + (t - 1 - k) ** 2 for k in range(t)
+    )
+    assert run.metrics.num_tasks == expected_tasks
+    assert run.metrics.num_nt_joins > 0
+
+
+def test_missing_update_dependence_is_caught():
+    """Drop the in-deps of the trailing updates: the panels race."""
+    from repro.runtime.depends import DependsTaskGroup
+    from repro.workloads.strassen import InstrumentedMatrix
+
+    params = lufact.default_params("tiny")
+
+    def broken(rt):
+        a = lufact._input_matrix(params)
+        t, b = params.tiles, params.tile
+        tiles = {}
+        for i in range(t):
+            for j in range(t):
+                tiles[i, j] = InstrumentedMatrix(
+                    rt, b, a[i * b:(i + 1) * b, j * b:(j + 1) * b].copy(),
+                    name=f"B{i}{j}",
+                )
+        group = DependsTaskGroup(rt)
+        for k in range(t):
+            group.task(
+                lambda k=k: tiles[k, k].store(
+                    lufact._lu_inplace(tiles[k, k].load())
+                ),
+                inout=[("T", k, k)],
+            )
+            for j in range(k + 1, t):
+                # BUG: no in-dep on the diagonal tile
+                group.task(
+                    lambda k=k, j=j: tiles[k, j].store(
+                        lufact._lower_solve(
+                            tiles[k, k].load(), tiles[k, j].load()
+                        )
+                    ),
+                    inout=[("T", k, j)],
+                )
+        group.wait_all()
+
+    run = run_instrumented(broken, detect=True)
+    assert run.races

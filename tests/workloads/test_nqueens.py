@@ -1,0 +1,86 @@
+"""Unit tests for the NQueens extension workload."""
+
+import pytest
+
+from repro import Runtime
+from repro.baselines import (
+    ESPBagsDetector,
+    OffsetSpanDetector,
+    SPBagsDetector,
+    SPD3Detector,
+)
+from repro.workloads import nqueens
+from repro.workloads.common import run_instrumented
+
+
+@pytest.mark.parametrize("n", range(1, 9))
+def test_serial_matches_known_counts(n):
+    assert nqueens.serial(nqueens.NQueensParams(n=n)) == (
+        nqueens.KNOWN_SOLUTIONS[n - 1]
+    )
+
+
+def test_safe_predicate():
+    assert nqueens._safe((), 0)
+    assert not nqueens._safe((0,), 0)   # same column
+    assert not nqueens._safe((0,), 1)   # diagonal
+    assert nqueens._safe((0,), 2)
+
+
+def test_slot_ids_unique_and_in_range():
+    n, cutoff = 5, 2
+    seen = set()
+
+    def walk(placement):
+        slot = nqueens._slot_of(placement, n)
+        assert slot not in seen
+        seen.add(slot)
+        assert 0 <= slot < nqueens._max_tasks(n, cutoff)
+        if len(placement) < cutoff:
+            for col in range(n):
+                walk(placement + (col,))
+
+    walk(())
+
+
+@pytest.mark.parametrize("cutoff", [1, 2, 3])
+def test_parallel_count_correct_any_cutoff(cutoff):
+    params = nqueens.NQueensParams(n=6, cutoff=cutoff)
+    run = run_instrumented(lambda rt: nqueens.run_af(rt, params), detect=True)
+    nqueens.verify(params, run.result)
+    assert not run.races
+
+
+def test_fully_strict_runs_under_every_baseline():
+    """NQueens is the workload every restricted model can handle."""
+    params = nqueens.default_params("tiny")
+    for cls in (SPBagsDetector, ESPBagsDetector, SPD3Detector,
+                OffsetSpanDetector):
+        det = cls()
+        rt = Runtime(observers=[det])
+        result = rt.run(lambda r: nqueens.run_af(r, params))
+        nqueens.verify(params, result)
+        assert not det.report.has_races, cls.__name__
+
+
+def test_racy_counter_flagged_by_all_detectors():
+    params = nqueens.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: nqueens.run_racy_counter(rt, params), detect=True
+    )
+    assert ("solutions",) in run.detector.racy_locations
+    for cls in (SPBagsDetector, ESPBagsDetector, SPD3Detector):
+        det = cls()
+        rt = Runtime(observers=[det])
+        rt.run(lambda r: nqueens.run_racy_counter(r, params))
+        assert ("solutions",) in det.racy_locations, cls.__name__
+
+
+def test_racy_counter_depth_first_value_happens_to_be_right():
+    """Under the serial depth-first execution the racy counter still sums
+    correctly — exactly why this bug survives testing without a detector."""
+    params = nqueens.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: nqueens.run_racy_counter(rt, params), detect=False
+    )
+    nqueens.verify(params, run.result)  # value right, program still racy!

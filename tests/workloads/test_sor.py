@@ -1,0 +1,142 @@
+"""Unit tests for the SOR extension workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import sor
+from repro.workloads.common import run_instrumented
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        sor.SORParams(interior=10, rows_per_task=4)
+
+
+def test_serial_red_black_reference():
+    """Cross-check one red update against the formula by hand."""
+    params = sor.SORParams(interior=4, rows_per_task=4, sweeps=1)
+    g0 = sor._initial_grid(params)
+    result = sor.serial(params)
+    # cell (1,2) is red ((i+j) even offset per our coloring with color=0 ->
+    # start = 1 + (i & 1)); recompute it from the initial grid: it's the
+    # first updated cell of row 1, so neighbors are still initial values.
+    i, j = 1, 2
+    expected = (1 - params.omega) * g0[i, j] + 0.25 * params.omega * (
+        g0[i - 1, j] + g0[i + 1, j] + g0[i, j - 1] + g0[i, j + 1]
+    )
+    assert result[i, j] != g0[i, j]
+    # (the serial sweep may have updated neighbors afterwards, but (1,2) is
+    # written exactly once per color pass; first pass value must match)
+    params1 = sor.SORParams(interior=4, rows_per_task=4, sweeps=1)
+    partial = sor._initial_grid(params1)
+    sorted_once = sor.serial(params1)
+    assert np.isclose(sorted_once[i, j], expected) or True  # documented below
+    # NOTE: with omega relaxation, red cells only read black cells, which
+    # are untouched during the red pass — so the check is exact:
+    assert np.isclose(sorted_once[i, j], expected)
+
+
+def test_red_and_black_partition_interior():
+    params = sor.SORParams(interior=6, rows_per_task=6, sweeps=1)
+    n = params.n
+    covered = set()
+    for color in (0, 1):
+        for i in range(1, n - 1):
+            start = 1 + ((i + color) & 1)
+            for j in range(start, n - 1, 2):
+                assert (i, j) not in covered
+                covered.add((i, j))
+    assert len(covered) == params.interior * params.interior
+
+
+@pytest.mark.parametrize("entry", ["run_af", "run_future"])
+def test_parallel_variants_correct_and_race_free(entry):
+    params = sor.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: getattr(sor, entry)(rt, params), detect=True
+    )
+    sor.verify(params, run.result)
+    assert not run.races, run.detector.report.summary()
+
+
+def test_future_variant_uses_non_tree_joins():
+    params = sor.default_params("small")
+    af = run_instrumented(lambda rt: sor.run_af(rt, params), detect=False)
+    fut = run_instrumented(lambda rt: sor.run_future(rt, params), detect=False)
+    assert af.metrics.num_nt_joins == 0
+    assert fut.metrics.num_nt_joins > 0
+    assert af.metrics.num_finish_scopes == 2 * params.sweeps
+    assert fut.metrics.num_finish_scopes == 0  # point-to-point only
+
+
+def test_unsynchronized_version_races():
+    params = sor.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: sor.run_unsynchronized(rt, params), detect=True
+    )
+    assert run.races
+    # races appear on boundary rows between color phases
+    assert all(loc[0] == "G" for loc in run.detector.racy_locations)
+
+
+def test_detector_verdict_matches_oracle_on_buggy_sor():
+    from repro.baselines import BruteForceDetector
+    from repro.core.detector import DeterminacyRaceDetector
+    from repro.runtime.runtime import Runtime
+
+    params = sor.default_params("tiny")
+    det = DeterminacyRaceDetector()
+    oracle = BruteForceDetector()
+    rt = Runtime(observers=[det, oracle])
+    rt.run(lambda r: sor.run_unsynchronized(r, params))
+    assert det.racy_locations == oracle.racy_locations
+
+
+def test_color_blind_dependences_serialize_but_stay_race_free():
+    """Cautionary measurement promised in ``run_future``'s docstring: with
+    color-blind per-block keys, write-after-read anti-dependences chain
+    same-phase blocks, multiplying the critical path — while remaining
+    perfectly race-free.  Dependence *precision* is a performance concern
+    even when correctness is assured."""
+    from repro.graph import GraphBuilder
+    from repro.runtime.depends import DependsTaskGroup
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.workstealing import greedy_schedule
+    from repro.memory.shared import SharedNDArray
+
+    params = sor.SORParams(interior=16, rows_per_task=4, sweeps=2)
+
+    def color_blind(rt):
+        g = SharedNDArray(rt, "G", sor._initial_grid(params))
+        group = DependsTaskGroup(rt)
+        blocks = sor._row_blocks(params)
+        nblocks = len(blocks)
+        for sweep in range(params.sweeps):
+            for color in (0, 1):
+                for b, (r0, r1) in enumerate(blocks):
+                    deps = [("blk", nb) for nb in (b - 1, b, b + 1)
+                            if 0 <= nb < nblocks]
+                    group.task(
+                        sor._relax_rows, g, params.omega, params.n,
+                        r0, r1, color, in_=deps, out=[("blk", b)],
+                    )
+        group.wait_all()
+        return g
+
+    def graph_of(entry):
+        gb = GraphBuilder()
+        rt = Runtime(observers=[gb])
+        rt.run(entry)
+        return gb.graph
+
+    blind = graph_of(color_blind)
+    aware = graph_of(lambda rt: sor.run_future(rt, params))
+
+    run = run_instrumented(color_blind, detect=True)
+    sor.verify(params, run.result)
+    assert not run.races  # conservative deps are still correct...
+
+    s_blind = greedy_schedule(blind, 1)
+    s_aware = greedy_schedule(aware, 1)
+    # ...but cost ~2x+ the critical path of the color-aware declaration.
+    assert s_blind.span > 1.5 * s_aware.span

@@ -1,0 +1,89 @@
+"""Unit tests for the Strassen workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import strassen
+from repro.workloads.common import run_instrumented
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        strassen.StrassenParams(n=24, cutoff=8)
+    with pytest.raises(ValueError):
+        strassen.StrassenParams(n=16, cutoff=32)
+
+
+def test_serial_is_exact_integer_product():
+    params = strassen.StrassenParams(n=8, cutoff=8)
+    a, b = strassen._inputs(params)
+    assert np.array_equal(strassen.serial(params), a @ b)
+
+
+@pytest.mark.parametrize("n,cutoff", [(8, 8), (16, 8), (16, 4), (32, 8)])
+def test_parallel_exact_at_various_depths(n, cutoff):
+    params = strassen.StrassenParams(n=n, cutoff=cutoff)
+    run = run_instrumented(
+        lambda rt: strassen.run_future(rt, params), detect=False
+    )
+    strassen.verify(params, run.result)
+
+
+def test_race_free_under_detection():
+    params = strassen.default_params("tiny")
+    run = run_instrumented(
+        lambda rt: strassen.run_future(rt, params), detect=True
+    )
+    strassen.verify(params, run.result)
+    assert not run.races, run.detector.report.summary()
+
+
+def test_task_structure_single_level():
+    params = strassen.StrassenParams(n=16, cutoff=8)
+    run = run_instrumented(
+        lambda rt: strassen.run_future(rt, params), detect=False
+    )
+    # one level: 7 product futures + 4 combine futures
+    assert run.metrics.num_tasks == 11
+    # combine tasks join products: 4+2+2+4 sibling gets = 12 non-tree joins
+    assert run.metrics.num_nt_joins == 12
+    # parent joins its 4 combine futures: tree joins
+    assert run.metrics.num_gets == 12 + 4
+
+
+def test_task_structure_two_levels():
+    params = strassen.StrassenParams(n=32, cutoff=8)
+    run = run_instrumented(
+        lambda rt: strassen.run_future(rt, params), detect=False
+    )
+    # 11 top-level + 7 children each spawning 11 more
+    assert run.metrics.num_tasks == 11 + 7 * 11
+
+
+def test_instrumented_matrix_records_per_element():
+    from repro import Runtime
+    from repro.core.events import ExecutionObserver
+
+    class Count(ExecutionObserver):
+        def __init__(self):
+            self.reads = 0
+            self.writes = 0
+
+        def on_read(self, task, loc):
+            self.reads += 1
+
+        def on_write(self, task, loc):
+            self.writes += 1
+
+    counter = Count()
+    rt = Runtime(observers=[counter])
+
+    def prog(_rt):
+        m = strassen.InstrumentedMatrix(rt, 4, name="t")
+        m.store(np.ones((4, 4), dtype=np.int64))
+        out = m.load()
+        assert out.sum() == 16
+
+    rt.run(prog)
+    assert counter.writes == 16
+    assert counter.reads == 16
