@@ -6,7 +6,8 @@ workload), isolating the cost/benefit of:
 
 * the LSA shortcut vs walking every spawn-tree ancestor;
 * query memoization vs path-guarded re-exploration;
-* O(1) interval containment vs parent-pointer chasing.
+* O(1) interval containment vs parent-pointer chasing;
+* the epoch-versioned PRECEDE cache vs recomputing every backward search.
 
 All variants must report identical verdicts (the property suite proves
 this on random programs; the assertion re-checks it here).
@@ -24,7 +25,9 @@ VARIANTS = [
     ("no-lsa", {"use_lsa": False}),
     ("no-memoization", {"memoize_visit": False}),
     ("no-intervals", {"use_intervals": False}),
-    ("naive", {"use_lsa": False, "memoize_visit": False, "use_intervals": False}),
+    ("no-precede-cache", {"cache_precede": False}),
+    ("naive", {"use_lsa": False, "memoize_visit": False, "use_intervals": False,
+               "cache_precede": False}),
 ]
 
 

@@ -9,6 +9,7 @@ from repro.core.disjoint_set import DisjointSets
 from repro.core.events import ExecutionObserver, Trace
 from repro.core.exact import ExactDetector, ExactTaskReachability
 from repro.core.labels import IntervalLabel, LabelAllocator
+from repro.core.precede_cache import PrecedeCache
 from repro.core.races import AccessKind, Race, RaceReport, ReportPolicy
 from repro.core.reachability import DynamicTaskReachabilityGraph
 from repro.core.shadow import ShadowCell, ShadowMemory
@@ -27,6 +28,7 @@ __all__ = [
     "RaceReport",
     "ReportPolicy",
     "DynamicTaskReachabilityGraph",
+    "PrecedeCache",
     "ShadowCell",
     "ShadowMemory",
 ]

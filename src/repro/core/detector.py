@@ -60,6 +60,12 @@ class DeterminacyRaceDetector(ExecutionObserver):
     use_lsa / memoize_visit / use_intervals:
         Ablation switches forwarded to the DTRG (see
         :mod:`repro.core.reachability`).
+    cache_precede:
+        Enable the epoch-versioned PRECEDE cache
+        (:mod:`repro.core.precede_cache`) and the shadow memory's
+        epoch-memoized same-task read fast path.  Default on; switch off
+        to measure the paper's plain algorithms (``bench_ablations.py``,
+        ``bench_precede_cache.py``).
 
     Attributes
     ----------
@@ -80,6 +86,7 @@ class DeterminacyRaceDetector(ExecutionObserver):
         use_lsa: bool = True,
         memoize_visit: bool = True,
         use_intervals: bool = True,
+        cache_precede: bool = True,
     ) -> None:
         if isinstance(policy, str):
             policy = ReportPolicy(policy)
@@ -89,11 +96,17 @@ class DeterminacyRaceDetector(ExecutionObserver):
             use_lsa=use_lsa,
             memoize_visit=memoize_visit,
             use_intervals=use_intervals,
+            cache_precede=cache_precede,
         )
+        dtrg = self.dtrg
         self.shadow = ShadowMemory(
-            precede=self.dtrg.precede,
+            precede=dtrg.precede,
             is_future=self._is_future,
             report=self._report_race,
+            # cache_precede gates the whole caching layer: with it off the
+            # shadow memory runs the paper's plain Algorithms 8-9 (modulo
+            # the unconditional structural identities).
+            epoch=(lambda: dtrg.mutation_epoch) if cache_precede else None,
         )
         self._names: dict[int, str] = {}
 
@@ -152,6 +165,27 @@ class DeterminacyRaceDetector(ExecutionObserver):
     def racy_locations(self):
         """Shortcut for ``report.racy_locations``."""
         return self.report.racy_locations
+
+    @property
+    def perf_stats(self) -> dict:
+        """Caching/fast-path counters for the harness report and benchmarks.
+
+        Keys are stable (the harness renders them next to ``#AvgReaders``):
+        ``precede_queries``, ``mutation_epoch``, ``cache_hits``,
+        ``cache_misses``, ``cache_invalidations``, ``cache_hit_rate``,
+        ``shadow_fast_hits``, ``precede_calls_saved``.
+        """
+        cache = self.dtrg.cache
+        return {
+            "precede_queries": self.dtrg.num_precede_queries,
+            "mutation_epoch": self.dtrg.mutation_epoch,
+            "cache_hits": cache.hits if cache else 0,
+            "cache_misses": cache.misses if cache else 0,
+            "cache_invalidations": cache.invalidations if cache else 0,
+            "cache_hit_rate": cache.hit_rate if cache else 0.0,
+            "shadow_fast_hits": self.shadow.num_fast_path_hits,
+            "precede_calls_saved": self.shadow.num_precede_calls_saved,
+        }
 
     # ------------------------------------------------------------------ #
     # Internals                                                          #

@@ -1,0 +1,143 @@
+"""Epoch-versioned memo table for ``PRECEDE`` queries.
+
+The paper's own evaluation (Table 2) shows detector overhead is dominated
+by the per-access ``PRECEDE`` checks issued from the shadow memory; in the
+futures-heavy workloads each cold query pays a backward search over
+non-tree join edges.  Related detectors (MultiBags+, DePa) win precisely by
+amortizing this query.  :class:`PrecedeCache` does the same for the DTRG
+without changing the algorithm: it memoizes the *expensive* verdicts — the
+ones that survive the level-0 same-set / interval / preorder checks and
+would otherwise trigger a backward search.
+
+Soundness
+---------
+Entries are keyed by the pair of **current set representatives**
+``(find(A), find(B))``, resolved at lookup time, so tree-join merges
+collapse entries naturally: after a merge the union-find root of the merged
+set either changes (old keys are simply never looked up again — a root that
+loses root status never regains it) or absorbs the old set's metadata and
+edges.  The verdict of ``PRECEDE(A, B)`` is a function of the two tasks'
+*sets* only (Algorithm 10 consults ``A`` and ``B`` exclusively through
+their set representatives and set metadata, and the algorithm is exact —
+Lemma 6, property-tested in ``tests/properties/test_precede_exact.py``),
+so set-level keying loses no precision.
+
+*Positive entries are permanent.*  Happens-before in the DTRG is
+**monotone**: construction only ever *adds* paths —
+
+* ``add_task`` adds a node and a spawn edge,
+* ``record_join`` adds a non-tree edge or merges two sets,
+* ``merge`` unions two sets, keeping the union of their ``nt`` edge lists,
+* ``on_terminate`` finalizes a postorder value, which changes interval
+  *representations* but never the ancestor relation those intervals encode
+  (containment ⇔ ancestry holds at every intermediate moment — see
+  :mod:`repro.core.labels`).
+
+No operation removes a node, an edge, or splits a set, hence the
+happens-before relation the exact query decides can only grow: once
+``PRECEDE(A, B)`` is true, it is true forever.  (Sketch: a positive verdict
+witnesses a path from A's set to B's current step through tree joins,
+non-tree edges and spawn-ancestor chains; every constituent edge survives
+all four mutation kinds — merges union ``nt`` lists and only widen set
+labels toward ancestors — so the witness survives too.)
+
+*Negative entries carry the DTRG mutation epoch*, a counter bumped on every
+graph mutation (the four operations above).  Within one epoch the graph is
+frozen **and** the executing task cannot change (task switches require a
+spawn, a termination or a join, each of which bumps the epoch), so
+``PRECEDE`` is a pure function of its key: a same-epoch negative entry is
+exact.  A stale-epoch negative entry is discarded and recomputed, because a
+mutation may have added exactly the missing path.
+
+Observability: :attr:`hits`, :attr:`misses`, :attr:`invalidations`
+(stale negatives dropped) and :attr:`epoch` (mutation count at last
+store) feed the harness report next to ``#AvgReaders``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+__all__ = ["PrecedeCache"]
+
+
+class PrecedeCache:
+    """Memo table for expensive ``PRECEDE`` verdicts.
+
+    Keys are ``(root_a, root_b)`` pairs of *current* union-find
+    representatives (hashable by identity); the caller resolves them via
+    ``find`` immediately before :meth:`lookup`/:meth:`store` and passes the
+    current mutation epoch.
+    """
+
+    __slots__ = ("_positive", "_negative", "hits", "misses", "invalidations")
+
+    def __init__(self) -> None:
+        self._positive: Set[Tuple[object, object]] = set()
+        self._negative: Dict[Tuple[object, object], int] = {}
+        #: Lookups answered from the table.
+        self.hits = 0
+        #: Lookups that fell through to a real backward search.
+        self.misses = 0
+        #: Stale negative entries discarded on lookup.
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, root_a, root_b, epoch: int) -> Optional[bool]:
+        """Cached verdict for ``(root_a, root_b)`` at ``epoch``, else None.
+
+        Positive entries answer regardless of epoch (monotonicity);
+        negative entries answer only if recorded in the current epoch and
+        are dropped otherwise.
+        """
+        key = (root_a, root_b)
+        if key in self._positive:
+            self.hits += 1
+            return True
+        stored = self._negative.get(key)
+        if stored is not None:
+            if stored == epoch:
+                self.hits += 1
+                return False
+            del self._negative[key]
+            self.invalidations += 1
+        self.misses += 1
+        return None
+
+    def store(self, root_a, root_b, verdict: bool, epoch: int) -> None:
+        """Record a freshly computed verdict."""
+        if verdict:
+            self._positive.add((root_a, root_b))
+        else:
+            self._negative[(root_a, root_b)] = epoch
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def num_positive(self) -> int:
+        """Permanent positive entries currently stored."""
+        return len(self._positive)
+
+    @property
+    def num_negative(self) -> int:
+        """Negative entries currently stored (any epoch)."""
+        return len(self._negative)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the table (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._positive.clear()
+        self._negative.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrecedeCache(+{len(self._positive)}, -{len(self._negative)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"stale={self.invalidations})"
+        )

@@ -34,7 +34,16 @@ Ablation switches (used by ``benchmarks/bench_ablations.py``):
   through the significant-ancestor chain;
 * ``memoize_visit=False`` — drop the per-query visited set;
 * ``use_intervals=False`` — answer ancestor queries by chasing parent
-  pointers instead of O(1) interval containment.
+  pointers instead of O(1) interval containment;
+* ``cache_precede=False`` — disable the epoch-versioned
+  :class:`repro.core.precede_cache.PrecedeCache` that memoizes verdicts
+  across queries (positive entries permanent by monotonicity, negative
+  entries valid for one mutation epoch).
+
+The graph also maintains :attr:`mutation_epoch`, a counter bumped on every
+structural mutation (``add_task``, ``record_join``, ``merge``,
+``on_terminate``); the shadow memory uses it for its same-task fast path
+and the cache for negative-entry validity.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.core.disjoint_set import DisjointSets
 from repro.core.labels import IntervalLabel, LabelAllocator
+from repro.core.precede_cache import PrecedeCache
 
 __all__ = ["TaskNode", "SetData", "DynamicTaskReachabilityGraph"]
 
@@ -126,6 +136,7 @@ class DynamicTaskReachabilityGraph:
         use_lsa: bool = True,
         memoize_visit: bool = True,
         use_intervals: bool = True,
+        cache_precede: bool = True,
     ) -> None:
         self._sets: DisjointSets[TaskNode] = DisjointSets()
         self._labels = LabelAllocator()
@@ -133,6 +144,9 @@ class DynamicTaskReachabilityGraph:
         self.use_lsa = use_lsa
         self.memoize_visit = memoize_visit
         self.use_intervals = use_intervals
+        self.cache = PrecedeCache() if cache_precede else None
+        #: Counter bumped on every structural mutation; see module docstring.
+        self.mutation_epoch = 0
         # Statistics for complexity tests / benchmarks.
         self.num_precede_queries = 0
         self.num_visits = 0
@@ -178,12 +192,19 @@ class DynamicTaskReachabilityGraph:
         parent_data: SetData = self._sets.get_metadata(parent)
         lsa = parent if parent_data.nt else parent_data.lsa
         self._sets.make_set(node, SetData(label=label, lsa=lsa))
+        self.mutation_epoch += 1
         return node
 
     def on_terminate(self, key: Hashable) -> None:
         """Install the final postorder value of a terminating task
-        (Algorithm 3)."""
+        (Algorithm 3).
+
+        Bumps the mutation epoch: finalizing a postorder changes interval
+        representations (never the ancestor relation they encode), and the
+        terminate also hands execution back to the parent task, so cached
+        negative verdicts about "the currently executing task" expire."""
         self._labels.on_terminate(self._nodes[key].label)
+        self.mutation_epoch += 1
 
     def record_join(self, consumer_key: Hashable, producer_key: Hashable) -> None:
         """Process ``consumer.get(producer)`` (Algorithm 4).
@@ -207,6 +228,7 @@ class DynamicTaskReachabilityGraph:
             data: SetData = self._sets.get_metadata(consumer)
             data.nt.append(producer)
             self.num_non_tree_edges += 1
+            self.mutation_epoch += 1
 
     def merge(self, ancestor_key: Hashable, descendant_key: Hashable) -> None:
         """Tree-join merge (Algorithm 7): union the two sets, keeping the
@@ -223,6 +245,7 @@ class DynamicTaskReachabilityGraph:
         self._sets.union(a, b)
         self._sets.set_metadata(a, data_a)
         self.num_tree_merges += 1
+        self.mutation_epoch += 1
 
     # ------------------------------------------------------------------ #
     # Queries (Algorithm 10)                                             #
@@ -234,6 +257,11 @@ class DynamicTaskReachabilityGraph:
         ``B`` is expected to be the currently executing task (the detector
         only queries from shadow-memory checks); ``A`` is any previously
         observed task.  A task trivially precedes itself (program order).
+
+        Verdicts that survive the level-0 checks (the ones that would pay a
+        backward search) are memoized in :attr:`cache`, keyed by the pair
+        of current set representatives; the level-0 checks themselves are
+        already cheaper than a table probe and stay uncached.
         """
         self.num_precede_queries += 1
         if a_key == b_key:
@@ -259,8 +287,16 @@ class DynamicTaskReachabilityGraph:
             return False  # preorder prune (see _visit)
         if not data_b.nt and data_b.lsa is None and self.use_lsa:
             return False  # nothing to search backwards through
+        cache = self.cache
+        if cache is not None:
+            cached = cache.lookup(root_a, root_b, self.mutation_epoch)
+            if cached is not None:
+                return cached
         visited = {root_b}
-        return self._explore(root_a, data_a, b, root_b, data_b, visited)
+        verdict = self._explore(root_a, data_a, b, root_b, data_b, visited)
+        if cache is not None:
+            cache.store(root_a, root_b, verdict, self.mutation_epoch)
+        return verdict
 
     def _visit(
         self,
@@ -426,10 +462,14 @@ class DynamicTaskReachabilityGraph:
     def partition(self) -> List[List[Hashable]]:
         """The full disjoint-set partition ``D`` as lists of task keys.
 
-        O(n^2) — debugging/tests only (Table 1 dumps)."""
-        return [
-            [n.key for n in group] for group in self._sets.as_partition()
-        ]
+        Single pass over the nodes with one ``find`` each — O(n·α(n)).
+        Output order is deterministic: groups appear in order of their
+        first-created member, members within a group in creation order
+        (used by Table 1 dumps and tests)."""
+        groups: Dict[TaskNode, List[Hashable]] = {}
+        for node in self._nodes.values():  # dict preserves creation order
+            groups.setdefault(self._sets.find(node), []).append(node.key)
+        return list(groups.values())
 
     def is_ancestor(self, a_key: Hashable, b_key: Hashable) -> bool:
         """Spawn-tree ancestor-or-self test via task-level interval labels."""

@@ -21,11 +21,39 @@ Deviation from the printed pseudocode (see DESIGN.md §3): Algorithm 9 as
 printed never records the *first* reader of a location (the ``update`` flag
 stays false when ``r`` is empty), which would let a later parallel write slip
 through undetected; we treat an empty reader set as "record the reader".
+
+Fast paths (perf layer; ``docs/ALGORITHM.md`` §"Precede caching")
+-----------------------------------------------------------------
+Access-dominated workloads repeat accesses by the same task on the same
+cell; the checks below skip the ``PRECEDE`` loops when the outcome is
+forced, while keeping the ``#AvgReaders`` accounting and the cell-state
+evolution *bit-identical* to the plain algorithms:
+
+* **structural** — a write to a cell whose writer is already the current
+  task (or unwritten) with no stored readers, and a read of a cell whose
+  only reader is the current task and whose writer is the current task (or
+  none), are algebraic no-ops of Algorithms 8-9: every ``precede`` call
+  they would issue is the reflexive ``precede(t, t)``.  These need no
+  extra state and rely only on ``precede`` being reflexive.
+* **epoch-memoized reads** — after a read by task ``t`` completes with no
+  race reported, the cell memoizes ``(t, mutation_epoch)``.  A later read
+  by ``t`` with the memo still valid is a *pure replay*: the cell state is
+  unchanged (any other access overwrites or clears the memo) and the DTRG
+  is frozen (``PRECEDE`` is a pure function of DTRG state), so the reader
+  loop would retire nobody new, the writer check would pass again, and the
+  only list mutation — retiring and re-appending ``t`` itself — is order
+  preserving because a clean read always leaves ``t`` last (or absent)
+  in the reader list.  Requires an ``epoch`` supplier (the DTRG's
+  mutation counter); without one the memo is disabled.
+
+The reader *list* keeps the paper's ordering semantics; a parallel
+``reader_ids`` set makes the ``task not in r`` membership test O(1) for
+cells with large future-reader populations.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 __all__ = ["ShadowCell", "ShadowMemory"]
 
@@ -33,11 +61,17 @@ __all__ = ["ShadowCell", "ShadowMemory"]
 class ShadowCell:
     """Shadow state of one shared memory location."""
 
-    __slots__ = ("writer", "readers")
+    __slots__ = ("writer", "readers", "reader_ids", "fast_reader", "fast_epoch")
 
     def __init__(self) -> None:
         self.writer: Optional[int] = None
         self.readers: List[int] = []
+        #: Mirror of ``readers`` for O(1) membership (list keeps ordering).
+        self.reader_ids: Set[int] = set()
+        #: Task of the last race-free read check, or None (see module doc).
+        self.fast_reader: Optional[int] = None
+        #: DTRG mutation epoch at which ``fast_reader`` was recorded.
+        self.fast_epoch: int = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShadowCell(w={self.writer}, r={self.readers})"
@@ -49,12 +83,19 @@ class ShadowMemory:
     Parameters
     ----------
     precede:
-        ``precede(prev_tid, cur_tid) -> bool`` — the DTRG query.
+        ``precede(prev_tid, cur_tid) -> bool`` — the DTRG query.  Must be
+        reflexive (``precede(t, t)`` is True); the structural fast paths
+        depend on it.
     is_future:
         ``is_future(tid) -> bool`` — the paper's ``IsFuture``.
     report:
         ``report(kind, prev_tid, cur_tid, loc)`` — race sink, called for each
         conflicting pair found.
+    epoch:
+        optional ``() -> int`` returning the DTRG mutation epoch
+        (:attr:`DynamicTaskReachabilityGraph.mutation_epoch`).  Enables the
+        same-task read memo; ``None`` disables it (structural fast paths
+        stay active — they are unconditional identities).
     """
 
     def __init__(
@@ -62,15 +103,23 @@ class ShadowMemory:
         precede: Callable[[int, int], bool],
         is_future: Callable[[int], bool],
         report: Callable[[str, int, int, Hashable], None],
+        epoch: Optional[Callable[[], int]] = None,
     ) -> None:
         self._cells: Dict[Hashable, ShadowCell] = {}
         self._precede = precede
         self._is_future = is_future
         self._report = report
+        self._epoch = epoch
         # #AvgReaders bookkeeping: readers stored at the moment of access,
         # summed over all accesses.
         self.num_accesses = 0
         self.total_readers_seen = 0
+        # Fast-path observability (harness report / benchmarks).
+        self.num_fast_read_hits = 0
+        self.num_fast_write_hits = 0
+        #: PRECEDE calls the fast paths skipped that the plain Algorithms
+        #: 8-9 would have issued.
+        self.num_precede_calls_saved = 0
 
     # ------------------------------------------------------------------ #
     def cell(self, loc: Hashable) -> ShadowCell:
@@ -90,16 +139,34 @@ class ShadowMemory:
         current task.
         """
         cell = self.cell(loc)
-        precede = self._precede
         self.num_accesses += 1
         readers = cell.readers
         self.total_readers_seen += len(readers)
+        w = cell.writer
+        if not readers and (w is None or w == task):
+            # Structural fast path: the reader loop is empty and the writer
+            # check is skipped (w is None) or reflexive (w == task), so
+            # Algorithm 8 degenerates to installing the writer.
+            self.num_fast_write_hits += 1
+            cell.fast_reader = None
+            cell.writer = task
+            return
+        precede = self._precede
+        cell.fast_reader = None  # cell state changes: read memo is stale
+        # Batch: each distinct tid (reader or writer) queried at most once
+        # per access.  Reader tids are unique by construction, so this
+        # mainly spares the writer check when the writer also read.
+        verdicts: Optional[Dict[int, bool]] = {} if readers else None
         if readers:
             # Lazily copy: the common case retires or keeps everything
             # without rebuilding the list.
             surviving: Optional[List[int]] = None
             for i, x in enumerate(readers):
-                if precede(x, task):
+                v = verdicts.get(x)
+                if v is None:
+                    v = precede(x, task)
+                    verdicts[x] = v
+                if v:
                     if surviving is None:
                         surviving = readers[:i]
                     continue  # retired: happens-before the write
@@ -108,9 +175,15 @@ class ShadowMemory:
                     surviving.append(x)  # the paper keeps racy readers
             if surviving is not None:
                 cell.readers = surviving
-        w = cell.writer
-        if w is not None and w != task and not precede(w, task):
-            self._report("write-write", w, task, loc)
+                cell.reader_ids = set(surviving)
+        if w is not None and w != task:
+            v = verdicts.get(w) if verdicts is not None else None
+            if v is None:
+                v = precede(w, task)
+            else:
+                self.num_precede_calls_saved += 1
+            if not v:
+                self._report("write-write", w, task, loc)
         cell.writer = task
 
     def read(self, task: int, loc: Hashable) -> None:
@@ -122,10 +195,39 @@ class ShadowMemory:
         single-async policy).
         """
         cell = self.cell(loc)
-        precede = self._precede
         self.num_accesses += 1
         readers = cell.readers
         self.total_readers_seen += len(readers)
+        w = cell.writer
+        if w is None or w == task:
+            # Structural fast paths: no writer check needed, and the reader
+            # loop either is empty or only retires-and-reappends the task
+            # itself (reflexivity) — both leave the cell exactly as the
+            # plain Algorithm 9 would.
+            if not readers:
+                # Deviation: always record the first reader.
+                self.num_fast_read_hits += 1
+                readers.append(task)
+                cell.reader_ids.add(task)
+                return
+            if len(readers) == 1 and readers[0] == task:
+                self.num_fast_read_hits += 1
+                self.num_precede_calls_saved += 1
+                return
+        epoch_fn = self._epoch
+        epoch = -1
+        if epoch_fn is not None and cell.fast_reader == task:
+            epoch = epoch_fn()
+            if cell.fast_epoch == epoch:
+                # Pure replay of the last clean check by this task: same
+                # cell state, frozen DTRG — every precede answer and the
+                # resulting cell state are forced (see module docstring).
+                self.num_fast_read_hits += 1
+                self.num_precede_calls_saved += len(readers) + (
+                    0 if w is None or w == task else 1
+                )
+                return
+        precede = self._precede
         update = not readers  # deviation: always record the first reader
         if readers:
             task_is_future = self._is_future(task)
@@ -142,11 +244,20 @@ class ShadowMemory:
                     surviving.append(x)
             if surviving is not None:
                 cell.readers = surviving
-        w = cell.writer
+                cell.reader_ids = set(surviving)
+        raced = False
         if w is not None and w != task and not precede(w, task):
             self._report("write-read", w, task, loc)
-        if update and task not in cell.readers:
+            raced = True
+        if update and task not in cell.reader_ids:
             cell.readers.append(task)
+            cell.reader_ids.add(task)
+        if epoch_fn is not None:
+            if raced:
+                cell.fast_reader = None
+            else:
+                cell.fast_reader = task
+                cell.fast_epoch = epoch if epoch >= 0 else epoch_fn()
 
     # ------------------------------------------------------------------ #
     # Metrics / introspection                                            #
@@ -158,6 +269,11 @@ class ShadowMemory:
         if self.num_accesses == 0:
             return 0.0
         return self.total_readers_seen / self.num_accesses
+
+    @property
+    def num_fast_path_hits(self) -> int:
+        """Accesses resolved without running the full Algorithm 8/9 body."""
+        return self.num_fast_read_hits + self.num_fast_write_hits
 
     @property
     def num_locations(self) -> int:

@@ -23,7 +23,7 @@ from typing import Dict, Optional
 
 from repro.core.events import ExecutionObserver
 
-__all__ = ["Metrics", "MetricsCollector"]
+__all__ = ["DetectorPerf", "Metrics", "MetricsCollector"]
 
 
 @dataclass
@@ -49,6 +49,53 @@ class Metrics:
             "#Tasks": self.num_tasks,
             "#NTJoins": self.num_nt_joins,
             "#SharedMem": self.num_shared_accesses,
+        }
+
+
+@dataclass
+class DetectorPerf:
+    """Snapshot of the detector's caching/fast-path counters.
+
+    These are *performance* observability (PRECEDE cache hit rate, DTRG
+    mutation epochs, shadow fast-path savings), kept separate from the
+    structural :class:`Metrics` so the Table 2 columns stay comparable to
+    the paper while the report can print cache behaviour alongside
+    ``#AvgReaders``.
+    """
+
+    precede_queries: int = 0    #: PRECEDE calls issued by the shadow memory
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0  #: stale negative entries dropped
+    cache_hit_rate: float = 0.0
+    epoch_bumps: int = 0        #: DTRG mutations observed (epoch counter)
+    shadow_fast_hits: int = 0   #: accesses short-circuited before PRECEDE
+    precede_calls_saved: int = 0
+
+    @classmethod
+    def from_detector(cls, detector) -> "DetectorPerf":
+        """Build from a :class:`~repro.core.detector.DeterminacyRaceDetector`
+        (``None`` yields all-zero counters)."""
+        if detector is None:
+            return cls()
+        stats = detector.perf_stats
+        return cls(
+            precede_queries=stats["precede_queries"],
+            cache_hits=stats["cache_hits"],
+            cache_misses=stats["cache_misses"],
+            cache_invalidations=stats["cache_invalidations"],
+            cache_hit_rate=stats["cache_hit_rate"],
+            epoch_bumps=stats["mutation_epoch"],
+            shadow_fast_hits=stats["shadow_fast_hits"],
+            precede_calls_saved=stats["precede_calls_saved"],
+        )
+
+    def as_row(self) -> Dict[str, object]:
+        """Columns the Table-2 report appends next to ``#AvgReaders``."""
+        return {
+            "#PrecedeQ": self.precede_queries,
+            "CacheHit%": round(100.0 * self.cache_hit_rate, 1),
+            "#QSaved": self.precede_calls_saved,
         }
 
 

@@ -15,10 +15,10 @@ the paper's three configurations:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.harness.metrics import Metrics
+from repro.harness.metrics import DetectorPerf, Metrics
 from repro.workloads import (
     crypt_idea,
     jacobi,
@@ -103,6 +103,7 @@ class BenchmarkResult:
     instrumented_seconds: float
     racedet_seconds: float
     races: int
+    perf: DetectorPerf = field(default_factory=DetectorPerf)
 
     @property
     def slowdown_vs_seq(self) -> float:
@@ -119,18 +120,24 @@ class BenchmarkResult:
         return self.racedet_seconds / self.instrumented_seconds
 
     def row(self) -> Dict[str, Any]:
-        return {
+        row = {
             "Benchmark": self.name,
             "#Tasks": self.metrics.num_tasks,
             "#NTJoins": self.metrics.num_nt_joins,
             "#SharedMem": self.metrics.num_shared_accesses,
             "#AvgReaders": round(self.avg_readers, 2),
+        }
+        # Cache/fast-path observability sits next to #AvgReaders: both
+        # describe the per-access work the detector actually did.
+        row.update(self.perf.as_row())
+        row.update({
             "Seq (ms)": round(self.seq_seconds * 1e3, 1),
             "Instr (ms)": round(self.instrumented_seconds * 1e3, 1),
             "Racedet (ms)": round(self.racedet_seconds * 1e3, 1),
             "Slowdown": round(self.slowdown_vs_seq, 2),
             "Slowdown/Instr": round(self.slowdown_vs_instrumented, 2),
-        }
+        })
+        return row
 
 
 def run_benchmark(
@@ -170,6 +177,7 @@ def run_benchmark(
     det_best = float("inf")
     avg_readers = 0.0
     races = 0
+    perf = DetectorPerf()
     for _ in range(repeats):
         run = run_instrumented(
             lambda rt: bench.parallel(rt, params), detect=True
@@ -177,6 +185,7 @@ def run_benchmark(
         det_best = min(det_best, run.wall_seconds)
         avg_readers = run.avg_readers
         races = len(run.races)
+        perf = DetectorPerf.from_detector(run.detector)
         if verify:
             bench.verify(params, run.result)
 
@@ -190,4 +199,5 @@ def run_benchmark(
         instrumented_seconds=instr_best,
         racedet_seconds=det_best,
         races=races,
+        perf=perf,
     )

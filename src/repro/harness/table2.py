@@ -92,6 +92,20 @@ def qualitative_checks(results: Dict[str, BenchmarkResult]) -> List[str]:
         )
     for name, res in results.items():
         check(f"{name}: race-free (0 races reported)", res.races == 0)
+    for name, res in results.items():
+        # The PRECEDE cache only ever *answers* queries the shadow memory
+        # issued, and its hit rate is a probability by construction; a
+        # violation means the caching layer is miscounting (or answering
+        # queries that never happened — a soundness smell).
+        perf = res.perf
+        check(
+            f"{name}: precede cache consistent "
+            f"(hits {perf.cache_hits:,} + misses {perf.cache_misses:,} "
+            f"<= queries {perf.precede_queries:,}, "
+            f"hit-rate {perf.cache_hit_rate:.2f})",
+            perf.cache_hits + perf.cache_misses <= perf.precede_queries
+            and 0.0 <= perf.cache_hit_rate <= 1.0,
+        )
     if "Series-af" in results and "Crypt-af" in results:
         check(
             "Slowdown(Series-af) < Slowdown(Crypt-af) "

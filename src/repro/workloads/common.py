@@ -50,21 +50,30 @@ class WorkloadRun:
     def races(self) -> list:
         return [] if self.detector is None else list(self.detector.races)
 
+    @property
+    def perf_stats(self) -> Dict[str, Any]:
+        """The detector's caching/fast-path counters ({} without one)."""
+        return {} if self.detector is None else self.detector.perf_stats
+
 
 def run_instrumented(
     entry: Callable[[Runtime], Any],
     *,
     detect: bool,
     extra_observers: Sequence = (),
+    detector_options: Optional[Dict[str, Any]] = None,
 ) -> WorkloadRun:
     """Run a workload entry point, with or without the race detector.
 
     ``detect=False`` measures instrumentation-only cost (runtime dispatch +
     metrics counters); ``detect=True`` adds the full detector — the paper's
-    ``Racedet`` configuration.
+    ``Racedet`` configuration.  ``detector_options`` are forwarded to
+    :class:`DeterminacyRaceDetector` (ablation switches, ``cache_precede``).
     """
     metrics = MetricsCollector()
-    detector = DeterminacyRaceDetector() if detect else None
+    detector = (
+        DeterminacyRaceDetector(**(detector_options or {})) if detect else None
+    )
     observers: List = [metrics]
     if detector is not None:
         observers.append(detector)

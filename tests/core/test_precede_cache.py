@@ -1,0 +1,218 @@
+"""Unit tests for the epoch-versioned PRECEDE cache (perf layer).
+
+Two levels:
+
+* :class:`~repro.core.precede_cache.PrecedeCache` in isolation — the
+  epoch contract (positives permanent, negatives same-epoch-only) and the
+  observability counters;
+* the cache wired into :class:`DynamicTaskReachabilityGraph` — epoch bumps
+  for every mutation kind, verdict stability across merges, and the
+  crucial flip: a cached negative must *not* survive a join that adds
+  exactly the missing path.
+
+The oracle-equivalence property suite (``tests/properties/test_theorem2``)
+covers the cache end-to-end; these tests pin the mechanism.
+"""
+
+import pytest
+
+from repro.core.precede_cache import PrecedeCache
+from repro.core.reachability import DynamicTaskReachabilityGraph
+
+
+# ---------------------------------------------------------------------- #
+# PrecedeCache in isolation                                              #
+# ---------------------------------------------------------------------- #
+def test_positive_entries_answer_at_any_epoch():
+    cache = PrecedeCache()
+    cache.store("ra", "rb", True, epoch=5)
+    assert cache.lookup("ra", "rb", epoch=5) is True
+    assert cache.lookup("ra", "rb", epoch=999) is True  # monotonicity
+    assert cache.hits == 2 and cache.misses == 0
+    assert cache.num_positive == 1 and cache.num_negative == 0
+
+
+def test_negative_entries_are_epoch_scoped():
+    cache = PrecedeCache()
+    cache.store("ra", "rb", False, epoch=7)
+    assert cache.lookup("ra", "rb", epoch=7) is False  # same epoch: hit
+    assert cache.lookup("ra", "rb", epoch=8) is None   # stale: dropped
+    assert cache.invalidations == 1
+    assert cache.num_negative == 0  # the stale entry is gone...
+    assert cache.lookup("ra", "rb", epoch=8) is None   # ...so plain miss
+    assert cache.invalidations == 1
+    assert cache.hits == 1 and cache.misses == 2
+
+
+def test_unknown_key_is_a_miss():
+    cache = PrecedeCache()
+    assert cache.lookup("x", "y", epoch=0) is None
+    assert cache.misses == 1 and cache.hits == 0
+    assert cache.hit_rate == 0.0
+
+
+def test_keys_are_ordered_pairs():
+    cache = PrecedeCache()
+    cache.store("ra", "rb", True, epoch=0)
+    assert cache.lookup("rb", "ra", epoch=0) is None  # reverse is distinct
+
+
+def test_hit_rate_and_clear():
+    cache = PrecedeCache()
+    cache.store("a", "b", True, epoch=0)
+    cache.lookup("a", "b", epoch=0)
+    cache.lookup("c", "d", epoch=0)
+    assert cache.hit_rate == pytest.approx(0.5)
+    cache.clear()
+    assert cache.num_positive == 0 and cache.num_negative == 0
+    assert cache.hits == 1 and cache.misses == 1  # counters survive clear
+
+
+# ---------------------------------------------------------------------- #
+# Wired into the DTRG                                                    #
+# ---------------------------------------------------------------------- #
+def sibling_join_graph():
+    """main spawns futures A, C (terminated), then B; B joins C.
+
+    ``precede(A, B)`` is an expensive *negative* (A was created before B,
+    so the preorder prune cannot answer, and B's set has a non-tree edge
+    to explore); ``precede(C, B)`` is an expensive *positive*.
+    """
+    g = DynamicTaskReachabilityGraph()
+    g.add_root("main")
+    g.add_task("main", "A", is_future=True, name="A")
+    g.on_terminate("A")
+    g.add_task("main", "C", is_future=True, name="C")
+    g.on_terminate("C")
+    g.add_task("main", "B", is_future=True, name="B")
+    g.record_join("B", "C")
+    return g
+
+
+def test_expensive_positive_is_cached():
+    g = sibling_join_graph()
+    assert g.precede("C", "B")
+    assert g.cache.num_positive == 1
+    before = g.cache.hits
+    assert g.precede("C", "B")
+    assert g.cache.hits == before + 1
+
+
+def test_expensive_negative_is_cached_within_epoch():
+    g = sibling_join_graph()
+    assert not g.precede("A", "B")
+    assert g.cache.num_negative == 1
+    before = g.cache.hits
+    assert not g.precede("A", "B")
+    assert g.cache.hits == before + 1
+
+
+def test_cached_negative_flips_after_join_adds_the_path():
+    """The reason negatives must be epoch-scoped: the missing path can
+    appear one mutation later."""
+    g = sibling_join_graph()
+    assert not g.precede("A", "B")  # cached negative
+    g.record_join("B", "A")         # adds exactly the A -> B edge
+    assert g.precede("A", "B")      # stale negative must not answer
+
+
+def test_positive_survives_merge():
+    """Tree-join merges change set representatives but never retract a
+    positive verdict (monotonicity)."""
+    g = sibling_join_graph()
+    assert g.precede("C", "B")
+    g.on_terminate("B")
+    g.record_join("main", "B")  # parent get: merges B into main's set
+    assert g.precede("C", "B")  # same verdict through the merged set
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        pytest.param(
+            lambda g: g.add_task("main", "D", is_future=True, name="D"),
+            id="add_task",
+        ),
+        pytest.param(lambda g: g.record_join("B", "A"), id="record_join-nt"),
+        pytest.param(lambda g: g.on_terminate("B"), id="on_terminate"),
+        pytest.param(
+            lambda g: (g.on_terminate("B"), g.record_join("main", "B")),
+            id="merge-via-tree-join",
+        ),
+    ],
+)
+def test_every_mutation_kind_bumps_the_epoch(mutate):
+    g = sibling_join_graph()
+    before = g.mutation_epoch
+    mutate(g)
+    assert g.mutation_epoch > before
+
+
+def test_same_set_join_does_not_bump_epoch():
+    """A redundant join is a graph no-op and must not invalidate."""
+    g = sibling_join_graph()
+    g.on_terminate("B")
+    g.record_join("main", "B")  # merge
+    before = g.mutation_epoch
+    g.record_join("main", "B")  # same set now: no-op
+    assert g.mutation_epoch == before
+
+
+def test_negative_invalidated_by_unrelated_mutation_then_recomputed():
+    g = sibling_join_graph()
+    assert not g.precede("A", "B")
+    g.add_task("main", "D", is_future=True, name="D")  # unrelated bump
+    before = g.cache.invalidations
+    assert not g.precede("A", "B")  # recomputed, same verdict
+    assert g.cache.invalidations == before + 1
+
+
+def test_cache_disabled_leaves_graph_functional():
+    g = DynamicTaskReachabilityGraph(cache_precede=False)
+    g.add_root("main")
+    g.add_task("main", "A", is_future=True, name="A")
+    g.on_terminate("A")
+    g.add_task("main", "B", is_future=True, name="B")
+    g.record_join("B", "A")
+    assert g.cache is None
+    assert g.precede("A", "B")
+    assert not g.precede("B", "A")
+
+
+def test_cached_and_uncached_agree_on_query_sequence():
+    """Same construction + query interleaving, flag on vs off."""
+    def drive(cache_precede):
+        g = DynamicTaskReachabilityGraph(cache_precede=cache_precede)
+        g.add_root("main")
+        verdicts = []
+        prev = None
+        for i in range(8):
+            name = f"F{i}"
+            g.add_task("main", name, is_future=True, name=name)
+            if prev is not None:
+                g.record_join(name, prev)
+                verdicts.append(g.precede(prev, name))
+                verdicts.append(g.precede(name, prev))
+                verdicts.append(g.precede("F0", name))
+            g.on_terminate(name)
+            prev = name
+        return verdicts
+
+    assert drive(True) == drive(False)
+
+
+# ---------------------------------------------------------------------- #
+# partition(): single-pass rewrite                                       #
+# ---------------------------------------------------------------------- #
+def test_partition_groups_by_set_in_creation_order():
+    g = sibling_join_graph()
+    assert g.partition() == [["main"], ["A"], ["C"], ["B"]]
+    g.on_terminate("B")
+    g.record_join("main", "B")  # merge B into main's set
+    # Groups keyed by first-created member; members in creation order.
+    assert g.partition() == [["main", "B"], ["A"], ["C"]]
+
+
+def test_partition_is_deterministic_across_repeats():
+    g = sibling_join_graph()
+    assert g.partition() == g.partition()
