@@ -101,7 +101,7 @@ class DeterminacyRaceDetector(ExecutionObserver):
         dtrg = self.dtrg
         self.shadow = ShadowMemory(
             precede=dtrg.precede,
-            is_future=self._is_future,
+            is_future=self._is_future_covered,
             report=self._report_race,
             # cache_precede gates the whole caching layer: with it off the
             # shadow memory runs the paper's plain Algorithms 8-9 (modulo
@@ -109,6 +109,14 @@ class DeterminacyRaceDetector(ExecutionObserver):
             epoch=(lambda: dtrg.mutation_epoch) if cache_precede else None,
         )
         self._names: dict[int, str] = {}
+        #: tid -> "future-covered": the task is a future or has a future
+        #: among its spawn-tree ancestors.  The shadow memory's reader-set
+        #: policy needs this (not plain ``IsFuture``) to stay sound: a
+        #: future-covered reader's end can be ordered with a later access
+        #: through a ``get`` edge, which breaks the Lemma 4
+        #: pseudo-transitivity the single-async-representative rests on
+        #: (see ``ShadowMemory`` and DESIGN.md).
+        self._future_covered: dict[int, bool] = {}
 
     # ------------------------------------------------------------------ #
     # Observer hooks                                                     #
@@ -116,12 +124,16 @@ class DeterminacyRaceDetector(ExecutionObserver):
     def on_init(self, main) -> None:
         """Algorithm 1: register the main task with label [0, MAXINT]."""
         self._names[main.tid] = main.name
+        self._future_covered[main.tid] = False
         self.dtrg.add_root(main.tid, name=main.name)
 
     def on_task_create(self, parent, child) -> None:
         """Algorithm 2: label the child, initialize its singleton set and
         lowest significant ancestor."""
         self._names[child.tid] = child.name
+        self._future_covered[child.tid] = (
+            child.is_future or self._future_covered[parent.tid]
+        )
         self.dtrg.add_task(
             parent.tid, child.tid, is_future=child.is_future, name=child.name
         )
@@ -190,8 +202,8 @@ class DeterminacyRaceDetector(ExecutionObserver):
     # ------------------------------------------------------------------ #
     # Internals                                                          #
     # ------------------------------------------------------------------ #
-    def _is_future(self, tid: int) -> bool:
-        return self.dtrg.node(tid).is_future
+    def _is_future_covered(self, tid: int) -> bool:
+        return self._future_covered[tid]
 
     def _report_race(
         self, kind: str, prev: int, cur: int, loc: Hashable

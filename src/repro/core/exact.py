@@ -148,12 +148,16 @@ class ExactDetector(ExecutionObserver):
         self.policy = policy
         self.report = RaceReport(dedupe=dedupe)
         self.reach = ExactTaskReachability()
-        # Lemma 4's single-async-reader optimization is itself only sound
-        # under the reference-flow discipline: a wild get() of a future
-        # spawned *inside* an async A orders A's prefix with the getter,
-        # breaking the async pseudo-transitivity the lemma rests on (the
-        # shrunk counterexample lives in tests/core/test_exact.py).  The
-        # exact detector therefore retains every parallel reader.
+        # Lemma 4's single-async-reader optimization needs care: any
+        # retained reader that a later get() can order away fails to
+        # witness races for the readers it displaced.  That happens under
+        # wild flow (a wild get() of a future spawned *inside* an async A
+        # orders A's prefix with the getter — shrunk counterexample in
+        # tests/core/test_exact.py), and even under scoped flow when the
+        # retained reader is future-covered (inside a future's spawn
+        # subtree — tests/corpus/dtrg_future_covered_reader.json).  The
+        # DTRG detector compensates with its future-covered predicate;
+        # the exact detector simply retains every parallel reader.
         self.shadow = ShadowMemory(
             precede=self._precede_keys,
             is_future=lambda key: True,

@@ -4,11 +4,22 @@ For every shared location ``M`` the detector keeps a shadow cell ``M_s``:
 
 * ``w`` — the task that last wrote ``M`` (``None`` until the first write);
 * ``r`` — tasks that read ``M`` in parallel since the last write.  The set
-  holds **at most one async task** but arbitrarily many future tasks:
-  Lemma 4's pseudo-transitivity (``s1 ∥ s2 ∧ s2 ∥ s3 ⇒ s1 ∥ s3``) holds only
-  among async tasks, so a single async "leftmost parallel reader"
-  representative suffices for async readers, while every parallel future
-  reader must be retained.
+  holds **at most one plain async task** but arbitrarily many
+  *future-covered* tasks: Lemma 4's pseudo-transitivity
+  (``s1 ∥ s2 ∧ s2 ∥ s3 ⇒ s1 ∥ s3``) holds only among tasks whose ends
+  cannot be awaited through a ``get`` edge, so a single "leftmost parallel
+  reader" representative suffices for those, while every parallel
+  future-covered reader must be retained.
+
+  *Future-covered* means the task is a future **or is a spawn-tree
+  descendant of one**: a read inside a finish in a future's body is
+  summarized by the future's end, so a later ``get`` orders it with the
+  consumer while a parallel plain-async reader stays unordered — dropping
+  that reader would silently miss the race (found by differential fuzzing
+  under fully scoped handle flow; regression
+  ``tests/corpus/dtrg_future_covered_reader.json``).  The ``is_future``
+  callback below must therefore answer True for every future-covered
+  task, not just for future tasks.
 
 The *average* shadow reader-set population is the paper's ``#AvgReaders``
 column in Table 2 (0..1 for async-finish programs, unbounded with futures);
@@ -87,7 +98,13 @@ class ShadowMemory:
         reflexive (``precede(t, t)`` is True); the structural fast paths
         depend on it.
     is_future:
-        ``is_future(tid) -> bool`` — the paper's ``IsFuture``.
+        ``is_future(tid) -> bool`` — the paper's ``IsFuture``, strengthened:
+        must answer True for every task whose recorded access can become
+        ordered with a later access via a ``get`` edge (future tasks *and*
+        their spawn-tree descendants — see the module docstring).  Answering
+        True too often only stores extra readers (precision is unaffected;
+        each report is still confirmed by ``precede``); answering False for
+        a future-covered task loses soundness.
     report:
         ``report(kind, prev_tid, cur_tid, loc)`` — race sink, called for each
         conflicting pair found.
@@ -190,9 +207,10 @@ class ShadowMemory:
         """Algorithm 9 — read check.
 
         The stored writer must precede the reading task.  The reader set is
-        maintained so that it always contains every past parallel *future*
-        reader plus one representative async reader (Lemma 4 justifies the
-        single-async policy).
+        maintained so that it always contains every past parallel
+        *future-covered* reader plus one representative plain-async reader
+        (Lemma 4 justifies the single-representative policy for tasks no
+        ``get`` edge can order).
         """
         cell = self.cell(loc)
         self.num_accesses += 1

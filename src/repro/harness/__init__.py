@@ -6,12 +6,13 @@ import here would close that cycle.
 """
 
 from repro.harness.metrics import Metrics, MetricsCollector
-from repro.harness.report import render_table
+from repro.harness.report import render_kv, render_table
 
 __all__ = [
     "Metrics",
     "MetricsCollector",
     "render_table",
+    "render_kv",
     "BENCHMARKS",
     "BenchmarkResult",
     "run_benchmark",

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
-__all__ = ["render_table"]
+__all__ = ["render_table", "render_kv"]
 
 
 def render_table(rows: Sequence[Dict[str, Any]]) -> str:
@@ -33,4 +33,23 @@ def render_table(rows: Sequence[Dict[str, Any]]) -> str:
         lines.append(
             " | ".join(cell.rjust(widths[c]) for cell, c in zip(cells, columns))
         )
+    return "\n".join(lines)
+
+
+def render_kv(title: str, values: Mapping[str, Any]) -> str:
+    """Render a titled key/value block (run-summary statistics).
+
+    Used by the fuzz harness for its per-run totals; keys keep insertion
+    order, values format like :func:`render_table` cells.
+    """
+    width = max((len(k) for k in values), default=0)
+    lines = [title, "=" * len(title)]
+    for key, value in values.items():
+        if isinstance(value, float):
+            text = f"{value:,.2f}"
+        elif isinstance(value, int):
+            text = f"{value:,}"
+        else:
+            text = str(value)
+        lines.append(f"{key.ljust(width)}  {text}")
     return "\n".join(lines)

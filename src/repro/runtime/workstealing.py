@@ -28,6 +28,7 @@ for pure step counting.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -104,7 +105,9 @@ def greedy_schedule(
     weights = step_weights(graph, unit_weights)
     n = graph.num_steps
     indeg = [len(p) for p in graph.predecessors]
-    ready: List[int] = [i for i, d in enumerate(indeg) if d == 0]
+    # deque: same FIFO order as a list popped from the front, but each
+    # popleft is O(1) — list.pop(0) made wide graphs O(n^2).
+    ready: deque = deque(i for i, d in enumerate(indeg) if d == 0)
     remaining: Dict[int, int] = {}  # step -> time left (running steps)
     time = 0
     done = 0
@@ -112,7 +115,7 @@ def greedy_schedule(
     while done < n:
         # Fill idle workers from the ready pool (FIFO: oldest first).
         while ready and len(remaining) < workers:
-            step = ready.pop(0)
+            step = ready.popleft()
             remaining[step] = weights[step]
         if not remaining:
             raise ValueError("computation graph contains a cycle")
@@ -145,9 +148,13 @@ class WorkStealingSimulator:
 
     Each worker owns a LIFO deque.  When a step completes, its newly
     enabled successors are pushed onto the finishing worker's deque (the
-    continuation-first discipline).  Idle workers pick a random victim and
-    steal from the *top* (oldest end) of its deque.  Steals take one time
-    unit whether or not they succeed.
+    continuation-first discipline).  An idle worker picks a victim
+    uniformly at random among the *other* workers and probes the *top*
+    (oldest end) of its deque: a non-empty deque yields the stolen step, an
+    empty one is a failed steal.  Either way the attempt costs the worker
+    that time unit — a stolen step starts executing on the next cycle, and
+    a failed attempt leaves the worker idle for the cycle.  With a single
+    worker there is no victim to probe, so no attempt is counted.
     """
 
     def __init__(
@@ -183,23 +190,25 @@ class WorkStealingSimulator:
         failed = 0
         rng = self.rng
         while done < n:
-            # 1. assign work
+            # 1. assign work; steal attempts burn the coming time unit.
+            stealing = [False] * workers
             for w in range(workers):
                 if current[w] is None:
                     if deques[w]:
                         step = deques[w].pop()  # LIFO: own work from the bottom
                         current[w] = step
                         left[w] = self.weights[step]
-                    else:
-                        victims = [
-                            v for v in range(workers)
-                            if v != w and deques[v]
-                        ]
-                        if victims:
-                            victim = rng.choice(victims)
+                    elif workers > 1:
+                        # Uniform random victim among the other workers;
+                        # probing an empty deque is the failed steal.
+                        victim = rng.randrange(workers - 1)
+                        if victim >= w:
+                            victim += 1
+                        if deques[victim]:
                             step = deques[victim].pop(0)  # steal oldest
                             current[w] = step
                             left[w] = self.weights[step]
+                            stealing[w] = True
                             steals += 1
                         else:
                             failed += 1
@@ -207,8 +216,8 @@ class WorkStealingSimulator:
             time += 1
             for w in range(workers):
                 step = current[w]
-                if step is None:
-                    continue
+                if step is None or stealing[w]:
+                    continue  # idle, or paying for the steal this cycle
                 busy += 1
                 left[w] -= 1
                 if left[w] == 0:

@@ -1,5 +1,14 @@
 """Program generation and execution helpers used by tests and benchmarks."""
 
+from repro.testing.codec import (
+    CorpusEntry,
+    dumps_program,
+    entry_from_data,
+    entry_to_data,
+    loads_program,
+    program_from_data,
+    program_to_data,
+)
 from repro.testing.generator import (
     Async,
     Finish,
@@ -14,6 +23,7 @@ from repro.testing.generator import (
     random_program,
     run_program,
 )
+from repro.testing.shrinker import ddmin, shrink_program
 
 __all__ = [
     "Stmt",
@@ -28,4 +38,13 @@ __all__ = [
     "random_program",
     "program_strategy",
     "count_stmts",
+    "CorpusEntry",
+    "program_to_data",
+    "program_from_data",
+    "dumps_program",
+    "loads_program",
+    "entry_to_data",
+    "entry_from_data",
+    "ddmin",
+    "shrink_program",
 ]

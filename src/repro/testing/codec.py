@@ -1,0 +1,171 @@
+"""Stable JSON codec for generated programs and regression-corpus entries.
+
+The differential fuzzer (``repro-fuzz``) persists minimized failing
+programs so they can be replayed forever after, independent of generator
+drift: a program serialized today must load identically after any future
+change to :func:`~repro.testing.generator.random_program`.  JSON (not
+pickle) keeps the corpus reviewable in diffs and safe to load.
+
+Format (``version`` 1)::
+
+    {
+      "version": 1,
+      "num_locs": 4,
+      "body": [
+        ["read", 0], ["write", 1], ["get", 0.25],
+        ["async",  [ ...nested statements... ]],
+        ["future", [ ... ]],
+        ["finish", [ ... ]]
+      ]
+    }
+
+A *corpus entry* wraps a program with its provenance and the oracle's
+verdict (location indices into the single shared array ``"x"`` used by
+:func:`~repro.testing.generator.run_program`)::
+
+    {
+      "version": 1,
+      "name": "dtrg_future_covered_reader",
+      "description": "...",
+      "racy_locs": [0],
+      "program": { ...program object as above... }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Future,
+    Get,
+    Program,
+    Read,
+    Stmt,
+    Write,
+)
+
+__all__ = [
+    "program_to_data",
+    "program_from_data",
+    "dumps_program",
+    "loads_program",
+    "CorpusEntry",
+    "entry_to_data",
+    "entry_from_data",
+]
+
+CODEC_VERSION = 1
+
+_NESTED = {"async": Async, "future": Future, "finish": Finish}
+
+
+def _body_to_data(body: Sequence[Stmt]) -> List[list]:
+    out: List[list] = []
+    for stmt in body:
+        if isinstance(stmt, Read):
+            out.append(["read", stmt.loc])
+        elif isinstance(stmt, Write):
+            out.append(["write", stmt.loc])
+        elif isinstance(stmt, Get):
+            out.append(["get", stmt.selector])
+        elif isinstance(stmt, (Async, Future, Finish)):
+            out.append([type(stmt).__name__.lower(), _body_to_data(stmt.body)])
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+    return out
+
+
+def _body_from_data(data: Sequence) -> Tuple[Stmt, ...]:
+    stmts: List[Stmt] = []
+    for item in data:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ValueError(f"malformed statement {item!r}")
+        tag, arg = item
+        if tag == "read":
+            stmts.append(Read(int(arg)))
+        elif tag == "write":
+            stmts.append(Write(int(arg)))
+        elif tag == "get":
+            stmts.append(Get(float(arg)))
+        elif tag in _NESTED:
+            stmts.append(_NESTED[tag](_body_from_data(arg)))
+        else:
+            raise ValueError(f"unknown statement tag {tag!r}")
+    return tuple(stmts)
+
+
+def program_to_data(program: Program) -> Dict[str, Any]:
+    """Encode a :class:`Program` as a JSON-serializable dict."""
+    return {
+        "version": CODEC_VERSION,
+        "num_locs": program.num_locs,
+        "body": _body_to_data(program.body),
+    }
+
+
+def program_from_data(data: Dict[str, Any]) -> Program:
+    """Decode :func:`program_to_data` output (validates the version)."""
+    version = data.get("version")
+    if version != CODEC_VERSION:
+        raise ValueError(f"unsupported program codec version {version!r}")
+    return Program(
+        body=_body_from_data(data["body"]), num_locs=int(data["num_locs"])
+    )
+
+
+def dumps_program(program: Program) -> str:
+    """Deterministic JSON text for ``program`` (stable across runs)."""
+    return json.dumps(program_to_data(program), sort_keys=True, indent=2)
+
+
+def loads_program(text: str) -> Program:
+    return program_from_data(json.loads(text))
+
+
+# ---------------------------------------------------------------------- #
+# Corpus entries                                                         #
+# ---------------------------------------------------------------------- #
+@dataclass
+class CorpusEntry:
+    """One regression-corpus record: a program plus its expected verdict.
+
+    ``racy_locs`` holds the indices of the racy cells of the shared array
+    ``"x"`` — the oracle's ``racy_locations`` with the array name dropped.
+    """
+
+    name: str
+    description: str
+    program: Program
+    racy_locs: Tuple[int, ...]
+
+    @property
+    def racy_locations(self) -> Set[Tuple[str, int]]:
+        """The verdict in detector-report form."""
+        return {("x", loc) for loc in self.racy_locs}
+
+
+def entry_to_data(entry: CorpusEntry) -> Dict[str, Any]:
+    return {
+        "version": CODEC_VERSION,
+        "name": entry.name,
+        "description": entry.description,
+        "racy_locs": sorted(entry.racy_locs),
+        "program": program_to_data(entry.program),
+    }
+
+
+def entry_from_data(data: Dict[str, Any]) -> CorpusEntry:
+    version = data.get("version")
+    if version != CODEC_VERSION:
+        raise ValueError(f"unsupported corpus entry version {version!r}")
+    return CorpusEntry(
+        name=str(data["name"]),
+        description=str(data.get("description", "")),
+        program=program_from_data(data["program"]),
+        racy_locs=tuple(int(x) for x in data["racy_locs"]),
+    )

@@ -224,10 +224,15 @@ def random_program(
     """
 
     def gen_block(depth: int) -> tuple:
+        # At max_depth no nested construct may be drawn; fold the p_task
+        # mass back into the read/write share so maximally nested blocks
+        # stay access-heavy as documented (previously it fell through the
+        # elif chain into Get, making them join-heavy instead).
+        p_nest = p_task if depth < max_depth else 0.0
         stmts: List[Stmt] = []
         for _ in range(rng.randint(1, max_block)):
             r = rng.random()
-            if depth < max_depth and r < p_task:
+            if r < p_nest:
                 body = gen_block(depth + 1)
                 kind = rng.random()
                 if kind < 0.4:
@@ -236,9 +241,9 @@ def random_program(
                     stmts.append(Future(body))
                 else:
                     stmts.append(Finish(body))
-            elif r < p_task + p_get:
+            elif r < p_nest + p_get:
                 stmts.append(Get(rng.random()))
-            elif r < p_task + p_get + (1 - p_task - p_get) / 2:
+            elif r < p_nest + p_get + (1 - p_nest - p_get) / 2:
                 stmts.append(Read(rng.randrange(num_locs)))
             else:
                 stmts.append(Write(rng.randrange(num_locs)))

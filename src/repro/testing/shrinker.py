@@ -1,0 +1,221 @@
+"""Hypothesis-free delta-debugging shrinker over the program AST.
+
+``repro-fuzz`` must hand every divergence to a human as a *small*
+pretty-printed program, without assuming the hypothesis library is
+installed (it is a dev-only dependency).  :func:`shrink_program` runs
+Zeller-style ddmin over every statement block, then structural passes:
+
+1. **ddmin removal** — minimize each block (outermost first, so whole
+   subtrees vanish early) to a 1-minimal statement subset;
+2. **hoisting** — replace an ``async``/``future``/``finish`` construct by
+   its body spliced inline, discarding one nesting level;
+3. **leaf canonicalization** — pull ``get`` selectors to ``0.0`` and
+   location indices toward ``0``;
+4. **location compaction** — shrink ``num_locs`` to the touched range.
+
+All passes repeat to fixpoint under a predicate-call budget.  The
+predicate receives a candidate :class:`Program` and returns True when the
+failure of interest still reproduces; any exception it raises counts as
+"does not reproduce", so detector crashes during shrinking cannot kill
+the fuzz run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Future,
+    Get,
+    Program,
+    Read,
+    Stmt,
+    Write,
+)
+
+__all__ = ["shrink_program", "ddmin"]
+
+_NESTED = (Async, Future, Finish)
+
+
+def ddmin(
+    items: Sequence,
+    test: Callable[[List], bool],
+) -> List:
+    """Classic ddmin: a 1-minimal sublist of ``items`` satisfying ``test``.
+
+    ``test`` must hold for ``items`` itself; only complements are probed
+    (we shrink by deleting chunks), which is the variant that suits
+    statement deletion.
+    """
+    items = list(items)
+    if not items:
+        return items
+    if test([]):
+        return []
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and test(candidate):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items
+
+
+def _replace_block(
+    body: Tuple[Stmt, ...], path: Tuple[int, ...], new_block: Tuple[Stmt, ...]
+) -> Tuple[Stmt, ...]:
+    """Rebuild ``body`` with the block at ``path`` replaced."""
+    if not path:
+        return new_block
+    i, rest = path[0], path[1:]
+    stmt = body[i]
+    inner = _replace_block(stmt.body, rest, new_block)
+    return body[:i] + (type(stmt)(inner),) + body[i + 1:]
+
+
+def _block_at(body: Tuple[Stmt, ...], path: Tuple[int, ...]) -> Tuple[Stmt, ...]:
+    for i in path:
+        body = body[i].body
+    return body
+
+
+def _block_paths(body: Tuple[Stmt, ...], prefix=()) -> List[Tuple[int, ...]]:
+    """All block paths, outermost first."""
+    paths = [prefix]
+    for i, stmt in enumerate(body):
+        if isinstance(stmt, _NESTED):
+            paths.extend(_block_paths(stmt.body, prefix + (i,)))
+    return paths
+
+
+def shrink_program(
+    program: Program,
+    predicate: Callable[[Program], bool],
+    *,
+    budget: int = 1500,
+) -> Program:
+    """Greedy fixpoint minimization of ``program`` under ``predicate``.
+
+    Returns the smallest variant found (``program`` itself if nothing
+    smaller reproduces, or if the predicate does not even hold for the
+    original).  ``budget`` caps predicate invocations.
+    """
+    calls = 0
+
+    def check(candidate: Program) -> bool:
+        nonlocal calls
+        if calls >= budget:
+            return False
+        calls += 1
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    if not check(program):
+        return program
+
+    current = program
+    changed = True
+    while changed and calls < budget:
+        changed = False
+
+        # Pass 1: ddmin every block, outermost first.  Paths go stale as
+        # soon as a block shrinks (indices shift, subtrees vanish), so
+        # restart the path walk after every successful reduction.
+        reducing = True
+        while reducing and calls < budget:
+            reducing = False
+            for path in _block_paths(current.body):
+                block = _block_at(current.body, path)
+                if not block:
+                    continue
+                kept = ddmin(
+                    block,
+                    lambda cand, p=path: check(
+                        Program(
+                            body=_replace_block(current.body, p, tuple(cand)),
+                            num_locs=current.num_locs,
+                        )
+                    ),
+                )
+                if len(kept) < len(block):
+                    current = Program(
+                        body=_replace_block(current.body, path, tuple(kept)),
+                        num_locs=current.num_locs,
+                    )
+                    changed = reducing = True
+                    break
+
+        # Pass 2: hoist construct bodies (drop one nesting level).
+        hoisting = True
+        while hoisting and calls < budget:
+            hoisting = False
+            for path in _block_paths(current.body):
+                block = _block_at(current.body, path)
+                for i, stmt in enumerate(block):
+                    if not isinstance(stmt, _NESTED):
+                        continue
+                    spliced = block[:i] + stmt.body + block[i + 1:]
+                    candidate = Program(
+                        body=_replace_block(current.body, path, spliced),
+                        num_locs=current.num_locs,
+                    )
+                    if check(candidate):
+                        current = candidate
+                        changed = hoisting = True
+                        break
+                if hoisting:
+                    break
+
+        # Pass 3: canonicalize leaves (selectors to 0.0, locs toward 0).
+        for path in _block_paths(current.body):
+            block = _block_at(current.body, path)
+            for i, stmt in enumerate(block):
+                replacement = None
+                if isinstance(stmt, Get) and stmt.selector != 0.0:
+                    replacement = Get(0.0)
+                elif isinstance(stmt, (Read, Write)) and stmt.loc != 0:
+                    replacement = type(stmt)(0)
+                if replacement is None:
+                    continue
+                new_block = block[:i] + (replacement,) + block[i + 1:]
+                candidate = Program(
+                    body=_replace_block(current.body, path, new_block),
+                    num_locs=current.num_locs,
+                )
+                if check(candidate):
+                    current = candidate
+                    block = new_block
+                    changed = True
+
+    # Final pass: compact num_locs to the touched range.
+    max_loc = -1
+    stack = list(current.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (Read, Write)):
+            max_loc = max(max_loc, stmt.loc)
+        elif isinstance(stmt, _NESTED):
+            stack.extend(stmt.body)
+    compact = max(1, max_loc + 1)
+    if compact < current.num_locs:
+        candidate = Program(body=current.body, num_locs=compact)
+        if check(candidate):
+            current = candidate
+
+    return current

@@ -1,0 +1,556 @@
+"""``repro-fuzz`` — differential fuzzing across every race detector.
+
+Theorem 2 claims the DTRG detector is sound and precise; the baselines
+claim exactness within (and honest refusal outside) their own models; the
+trace recorder claims replay is observationally identical to a live run.
+This tool attacks all three claims mechanically, the way Utterback et al.
+and the DePa authors keep their detectors honest — by generating programs
+and diffing every implementation against the brute-force oracle:
+
+    repro-fuzz --seeds 0:500                 # fuzz seed range
+    repro-fuzz --seeds 0:500 --mode wild     # robustness only
+    repro-fuzz --replay-corpus tests/corpus  # replay checked-in repros
+
+Per seed, :func:`~repro.testing.generator.random_program` yields a program
+which is checked in up to two modes:
+
+* **scoped** (the language's reference-flow discipline): every general
+  detector (dtrg, exact, vector-clock) must report exactly the oracle's
+  racy locations; every restricted detector (spd3, espbags, spbags,
+  offset-span) must either refuse with ``UnsupportedConstructError`` or
+  agree; and each completed run must round-trip through
+  :class:`~repro.memory.tracer.TraceRecorder`/:func:`replay_trace` with an
+  identical verdict (record-replay parity).
+* **wild** (out-of-band handle registry, outside the model's guarantee):
+  nothing may crash, and the exact detector — whose reachability needs no
+  reference-flow assumption — must still match the oracle.  dtrg and
+  vector-clock verdicts are *not* compared here; task-granularity false
+  positives/negatives are documented behavior (DESIGN.md deviation #4).
+
+Failures are triaged by deduplicated signature, minimized with the
+hypothesis-free ddmin shrinker (:mod:`repro.testing.shrinker`), printed as
+pretty programs, and optionally written as regression-corpus JSON entries
+(:mod:`repro.testing.codec`) for ``tests/corpus/``.
+
+Exit status: 0 = no failures, 1 = at least one failure, 2 = bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import builtins
+import json
+import random
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.harness.report import render_kv, render_table
+from repro.memory.tracer import TraceRecorder, replay_trace
+from repro.runtime.errors import UnsupportedConstructError
+from repro.testing.codec import (
+    CorpusEntry,
+    entry_to_data,
+    entry_from_data,
+)
+from repro.testing.generator import (
+    Program,
+    count_stmts,
+    random_program,
+    run_program,
+)
+from repro.testing.shrinker import shrink_program
+from repro.tools.racecheck import DETECTORS
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzStats",
+    "check_seed",
+    "fuzz_range",
+    "replay_corpus",
+    "main",
+]
+
+ORACLE = "brute-force"
+#: Detectors whose model covers every generated program.
+GENERAL = ("dtrg", "exact", "vector-clock")
+#: Detectors that must refuse-or-agree (restricted models).
+RESTRICTED = ("spd3", "espbags", "spbags", "offset-span")
+#: Detectors exercised in wild mode (no refusal semantics there).
+WILD = (ORACLE,) + GENERAL
+
+
+@dataclass
+class FuzzFailure:
+    """One triaged divergence/crash, with its minimized reproducer."""
+
+    seed: int
+    mode: str            #: "scoped" | "wild"
+    kind: str            #: "divergence" | "replay-divergence" | "crash"
+    detector: str
+    signature: str       #: dedup key (mode/kind/detector/direction)
+    detail: str
+    program: Program
+    minimized: Optional[Program] = None
+
+    @property
+    def repro(self) -> Program:
+        return self.minimized if self.minimized is not None else self.program
+
+
+@dataclass
+class FuzzStats:
+    """Aggregated run statistics (the fuzz harness's summary surface)."""
+
+    seeds: int = 0
+    programs: int = 0
+    statements: int = 0
+    events: int = 0
+    failures: int = 0
+    per_detector: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def tally(self, detector: str, key: str, amount: int = 1) -> None:
+        row = self.per_detector.setdefault(
+            detector,
+            {"runs": 0, "refusals": 0, "racy": 0,
+             "divergences": 0, "replay_mismatches": 0, "crashes": 0},
+        )
+        row[key] += amount
+
+    def detector_rows(self) -> List[Dict[str, object]]:
+        order = (ORACLE,) + GENERAL + RESTRICTED
+        rows = []
+        for name in order:
+            row = self.per_detector.get(name)
+            if row is None:
+                continue
+            rows.append({"detector": name, **row})
+        return rows
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "seeds": self.seeds,
+            "programs run": self.programs,
+            "statements": self.statements,
+            "events replayed": self.events,
+            "failures": self.failures,
+        }
+
+
+def _verdict(det) -> Set[Tuple[str, int]]:
+    return set(det.racy_locations)
+
+
+def _run_live(name: str, program: Program, *, scoped: bool, record=False):
+    """One fresh execution with one detector; returns (detector, trace)."""
+    det = DETECTORS[name]()
+    observers: List = [det]
+    recorder = TraceRecorder() if record else None
+    if recorder is not None:
+        observers.append(recorder)
+    run_program(program, observers, scoped_handles=scoped)
+    return det, (recorder.trace if recorder is not None else None)
+
+
+def _diff_direction(got: Set, want: Set) -> str:
+    extra, missing = got - want, want - got
+    if extra and missing:
+        return "mixed"
+    return "extra" if extra else "missing"
+
+
+def _divergence_predicate(
+    name: str, scoped: bool
+) -> Callable[[Program], bool]:
+    """Reproduction check for a verdict divergence (used by the shrinker)."""
+
+    def holds(candidate: Program) -> bool:
+        try:
+            det, _ = _run_live(name, candidate, scoped=scoped)
+            oracle, _ = _run_live(ORACLE, candidate, scoped=scoped)
+        except UnsupportedConstructError:
+            return False
+        return _verdict(det) != _verdict(oracle)
+
+    return holds
+
+
+def _replay_predicate(name: str, scoped: bool) -> Callable[[Program], bool]:
+    def holds(candidate: Program) -> bool:
+        try:
+            live, trace = _run_live(name, candidate, scoped=scoped, record=True)
+            replayed = DETECTORS[name]()
+            replay_trace(trace, [replayed])
+        except UnsupportedConstructError:
+            return False
+        return _verdict(live) != _verdict(replayed)
+
+    return holds
+
+
+def _crash_predicate(
+    name: str, exc_type: type, scoped: bool
+) -> Callable[[Program], bool]:
+    def holds(candidate: Program) -> bool:
+        try:
+            _run_live(name, candidate, scoped=scoped)
+        except exc_type:
+            return True
+        except Exception:
+            return False
+        return False
+
+    return holds
+
+
+def check_seed(
+    seed: int,
+    program: Program,
+    *,
+    modes: Sequence[str] = ("scoped", "wild"),
+    stats: Optional[FuzzStats] = None,
+) -> List[FuzzFailure]:
+    """Differentially check one program; returns un-shrunk failures."""
+    stats = stats if stats is not None else FuzzStats()
+    failures: List[FuzzFailure] = []
+
+    def fail(mode, kind, detector, signature, detail) -> None:
+        failures.append(FuzzFailure(
+            seed=seed, mode=mode, kind=kind, detector=detector,
+            signature=signature, detail=detail, program=program,
+        ))
+        stats.failures += 1
+
+    if "scoped" in modes:
+        oracle, trace = _run_live(ORACLE, program, scoped=True, record=True)
+        want = _verdict(oracle)
+        stats.tally(ORACLE, "runs")
+        if want:
+            stats.tally(ORACLE, "racy")
+        stats.events += len(trace)
+
+        replayed_oracle = DETECTORS[ORACLE]()
+        replay_trace(trace, [replayed_oracle])
+        if _verdict(replayed_oracle) != want:
+            stats.tally(ORACLE, "replay_mismatches")
+            fail("scoped", "replay-divergence", ORACLE,
+                 f"scoped:replay:{ORACLE}",
+                 f"live {sorted(want, key=repr)} vs replay "
+                 f"{sorted(_verdict(replayed_oracle), key=repr)}")
+
+        for name in GENERAL + RESTRICTED:
+            try:
+                det, _ = _run_live(name, program, scoped=True)
+            except UnsupportedConstructError:
+                stats.tally(name, "runs")
+                stats.tally(name, "refusals")
+                continue
+            except Exception as exc:
+                stats.tally(name, "runs")
+                stats.tally(name, "crashes")
+                fail("scoped", "crash", name,
+                     f"scoped:crash:{name}:{type(exc).__name__}",
+                     f"{type(exc).__name__}: {exc}")
+                continue
+            stats.tally(name, "runs")
+            got = _verdict(det)
+            if got:
+                stats.tally(name, "racy")
+            if got != want:
+                stats.tally(name, "divergences")
+                direction = _diff_direction(got, want)
+                fail("scoped", "divergence", name,
+                     f"scoped:divergence:{name}:{direction}",
+                     f"{name} {sorted(got, key=repr)} vs oracle "
+                     f"{sorted(want, key=repr)}")
+            # Record-replay parity for this detector.
+            replayed = DETECTORS[name]()
+            try:
+                replay_trace(trace, [replayed])
+            except UnsupportedConstructError:
+                stats.tally(name, "replay_mismatches")
+                fail("scoped", "replay-divergence", name,
+                     f"scoped:replay-refusal:{name}",
+                     "completed live but refused the recorded trace")
+                continue
+            if _verdict(replayed) != got:
+                stats.tally(name, "replay_mismatches")
+                fail("scoped", "replay-divergence", name,
+                     f"scoped:replay:{name}",
+                     f"live {sorted(got, key=repr)} vs replay "
+                     f"{sorted(_verdict(replayed), key=repr)}")
+
+    if "wild" in modes:
+        verdicts: Dict[str, Set] = {}
+        for name in WILD:
+            try:
+                det, wild_trace = _run_live(
+                    name, program, scoped=False, record=True
+                )
+            except Exception as exc:
+                stats.tally(name, "runs")
+                stats.tally(name, "crashes")
+                fail("wild", "crash", name,
+                     f"wild:crash:{name}:{type(exc).__name__}",
+                     f"{type(exc).__name__}: {exc}")
+                continue
+            stats.tally(name, "runs")
+            verdicts[name] = _verdict(det)
+            stats.events += len(wild_trace)
+            # Replay parity holds in wild mode too: the recorded stream is
+            # just events, and replay must reproduce the live verdict.
+            replayed = DETECTORS[name]()
+            try:
+                replay_trace(wild_trace, [replayed])
+            except Exception as exc:
+                stats.tally(name, "replay_mismatches")
+                fail("wild", "crash", name,
+                     f"wild:replay-crash:{name}:{type(exc).__name__}",
+                     f"replay raised {type(exc).__name__}: {exc}")
+                continue
+            if _verdict(replayed) != verdicts[name]:
+                stats.tally(name, "replay_mismatches")
+                fail("wild", "replay-divergence", name,
+                     f"wild:replay:{name}",
+                     f"live {sorted(verdicts[name], key=repr)} vs replay "
+                     f"{sorted(_verdict(replayed), key=repr)}")
+        # The exact detector needs no reference-flow assumption: it must
+        # match the oracle even on wild handle flows.
+        if ORACLE in verdicts and "exact" in verdicts:
+            if verdicts["exact"] != verdicts[ORACLE]:
+                stats.tally("exact", "divergences")
+                direction = _diff_direction(
+                    verdicts["exact"], verdicts[ORACLE]
+                )
+                fail("wild", "divergence", "exact",
+                     f"wild:divergence:exact:{direction}",
+                     f"exact {sorted(verdicts['exact'], key=repr)} vs oracle "
+                     f"{sorted(verdicts[ORACLE], key=repr)}")
+
+    return failures
+
+
+def _shrink_failure(failure: FuzzFailure, budget: int) -> None:
+    scoped = failure.mode == "scoped"
+    if failure.kind == "divergence":
+        predicate = _divergence_predicate(failure.detector, scoped)
+    elif failure.kind == "replay-divergence":
+        predicate = _replay_predicate(failure.detector, scoped)
+    else:  # crash: reproduce the same exception type
+        exc_name = failure.signature.rsplit(":", 1)[-1]
+        exc_type = getattr(builtins, exc_name, Exception)
+        if not (isinstance(exc_type, type)
+                and issubclass(exc_type, BaseException)):
+            exc_type = Exception
+        predicate = _crash_predicate(failure.detector, exc_type, scoped)
+    failure.minimized = shrink_program(
+        failure.program, predicate, budget=budget
+    )
+
+
+def fuzz_range(
+    seeds: Sequence[int],
+    *,
+    modes: Sequence[str] = ("scoped", "wild"),
+    generator_kwargs: Optional[dict] = None,
+    shrink: bool = True,
+    shrink_budget: int = 800,
+    fail_fast: bool = False,
+    verbose: bool = False,
+    out=None,
+) -> Tuple[FuzzStats, List[FuzzFailure]]:
+    """Fuzz ``seeds``; returns stats and signature-deduplicated failures."""
+    generator_kwargs = generator_kwargs or {}
+    stats = FuzzStats()
+    unique: Dict[str, FuzzFailure] = {}
+    for seed in seeds:
+        program = random_program(random.Random(seed), **generator_kwargs)
+        stats.seeds += 1
+        stats.programs += 1
+        stats.statements += count_stmts(program.body)
+        for failure in check_seed(
+            seed, program, modes=modes, stats=stats
+        ):
+            if verbose or failure.signature not in unique:
+                print(f"[seed {failure.seed}] {failure.signature}: "
+                      f"{failure.detail}", file=out)
+            if failure.signature not in unique:
+                unique[failure.signature] = failure
+        if fail_fast and unique:
+            break
+    failures = list(unique.values())
+    if shrink:
+        for failure in failures:
+            _shrink_failure(failure, shrink_budget)
+    return stats, failures
+
+
+# ---------------------------------------------------------------------- #
+# Regression-corpus replay                                               #
+# ---------------------------------------------------------------------- #
+def load_corpus(corpus_dir: Path) -> List[CorpusEntry]:
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        with open(path) as fh:
+            entries.append(entry_from_data(json.load(fh)))
+    return entries
+
+
+def replay_corpus(corpus_dir: Path, out=None) -> int:
+    """Re-check every corpus entry; returns the number of failures."""
+    entries = load_corpus(corpus_dir)
+    if not entries:
+        print(f"no corpus entries under {corpus_dir}", file=out)
+        return 0
+    bad = 0
+    for entry in entries:
+        want = entry.racy_locations
+        problems: List[str] = []
+        oracle, trace = _run_live(ORACLE, entry.program, scoped=True,
+                                  record=True)
+        if _verdict(oracle) != want:
+            problems.append(
+                f"oracle {sorted(_verdict(oracle), key=repr)} != declared "
+                f"{sorted(want, key=repr)}")
+        for name in GENERAL + RESTRICTED:
+            try:
+                det, _ = _run_live(name, entry.program, scoped=True)
+            except UnsupportedConstructError:
+                continue
+            if _verdict(det) != want:
+                problems.append(
+                    f"{name} {sorted(_verdict(det), key=repr)} != "
+                    f"{sorted(want, key=repr)}")
+            replayed = DETECTORS[name]()
+            replay_trace(trace, [replayed])
+            if _verdict(replayed) != _verdict(det):
+                problems.append(f"{name} replay parity broken")
+        status = "ok" if not problems else "FAIL"
+        print(f"corpus {entry.name}: {status}", file=out)
+        for problem in problems:
+            print(f"  - {problem}", file=out)
+        bad += bool(problems)
+    return bad
+
+
+def write_corpus_entries(
+    failures: Sequence[FuzzFailure], corpus_dir: Path, out=None
+) -> None:
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    for failure in failures:
+        program = failure.repro
+        try:
+            oracle, _ = _run_live(ORACLE, program, scoped=True)
+            racy = tuple(sorted(loc for _, loc in _verdict(oracle)))
+        except Exception:
+            continue  # no scoped ground truth (e.g. wild-only crash)
+        slug = re.sub(r"[^a-z0-9]+", "_", failure.signature.lower()).strip("_")
+        name = f"fuzz_seed{failure.seed}_{slug}"
+        entry = CorpusEntry(
+            name=name,
+            description=(f"repro-fuzz seed {failure.seed}: "
+                         f"{failure.signature} — {failure.detail}"),
+            program=program,
+            racy_locs=racy,
+        )
+        path = corpus_dir / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(entry_to_data(entry), fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"corpus entry written to {path}", file=out)
+
+
+# ---------------------------------------------------------------------- #
+# CLI                                                                    #
+# ---------------------------------------------------------------------- #
+def _parse_seed_range(text: str) -> range:
+    match = re.fullmatch(r"(-?\d+):(-?\d+)", text)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"expected START:END (half-open), got {text!r}")
+    start, end = int(match.group(1)), int(match.group(2))
+    if end <= start:
+        raise argparse.ArgumentTypeError(f"empty seed range {text!r}")
+    return range(start, end)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--seeds", type=_parse_seed_range, default=range(100),
+                        metavar="A:B", help="half-open seed range "
+                        "(default 0:100)")
+    parser.add_argument("--mode", choices=("scoped", "wild", "both"),
+                        default="both")
+    parser.add_argument("--num-locs", type=int, default=4)
+    parser.add_argument("--max-depth", type=int, default=4)
+    parser.add_argument("--max-block", type=int, default=6)
+    parser.add_argument("--p-task", type=float, default=0.35)
+    parser.add_argument("--p-get", type=float, default=0.2)
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report raw failing programs unminimized")
+    parser.add_argument("--shrink-budget", type=int, default=800,
+                        help="max predicate calls per minimization")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop at the first failing seed")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every failure, not just new signatures")
+    parser.add_argument("--corpus-dir", metavar="DIR",
+                        help="write minimized repros as corpus JSON entries")
+    parser.add_argument("--replay-corpus", metavar="DIR",
+                        help="replay a regression corpus instead of fuzzing")
+    args = parser.parse_args(argv)
+
+    if args.replay_corpus:
+        bad = replay_corpus(Path(args.replay_corpus))
+        if bad:
+            print(f"{bad} corpus entr{'y' if bad == 1 else 'ies'} FAILED")
+            return 1
+        print("corpus replay clean")
+        return 0
+
+    modes = ("scoped", "wild") if args.mode == "both" else (args.mode,)
+    stats, failures = fuzz_range(
+        args.seeds,
+        modes=modes,
+        generator_kwargs=dict(
+            num_locs=args.num_locs, max_depth=args.max_depth,
+            max_block=args.max_block, p_task=args.p_task, p_get=args.p_get,
+        ),
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        fail_fast=args.fail_fast,
+        verbose=args.verbose,
+    )
+
+    print(render_table(stats.detector_rows()))
+    print()
+    print(render_kv("fuzz run summary", stats.summary()))
+
+    if failures:
+        print(f"\n{len(failures)} unique failure signature"
+              f"{'s' if len(failures) != 1 else ''}:")
+        for failure in failures:
+            program = failure.repro
+            size = count_stmts(program.body)
+            minimized = (" (minimized)"
+                         if failure.minimized is not None else "")
+            print(f"\n--- {failure.signature} [seed {failure.seed}, "
+                  f"{size} stmts{minimized}] ---")
+            print(f"    {failure.detail}")
+            print(program)
+        if args.corpus_dir:
+            write_corpus_entries(failures, Path(args.corpus_dir))
+        return 1
+
+    print("\nno divergences, no crashes — all detectors agree with the "
+          "oracle on every seed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

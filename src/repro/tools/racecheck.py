@@ -15,7 +15,13 @@ The file is executed with a fresh :class:`~repro.runtime.runtime.Runtime`;
 every shared wrapper it creates against ``rt`` is instrumented.
 
 Exit status: 0 = race-free, 1 = races found, 2 = unsupported construct for
-the chosen detector (or other errors).
+the chosen detector (or other errors, including exceptions raised by the
+user program itself).
+
+Whatever artifacts were requested (``--dot``/``--trace``/``--metrics``) are
+written from the observers' recorded state even when the run aborts early —
+a ``--policy raise`` abort or a crash in the user program still yields the
+graph/trace collected up to that point.
 """
 
 from __future__ import annotations
@@ -76,7 +82,12 @@ def main(argv: List[str] | None = None) -> int:
                              "for each racy location")
     args = parser.parse_args(argv)
 
-    namespace = runpy.run_path(args.program)
+    try:
+        namespace = runpy.run_path(args.program)
+    except Exception as exc:
+        print(f"error: loading {args.program} failed: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
     entry = namespace.get("program")
     if not callable(entry):
         print(f"error: {args.program} does not define program(rt)",
@@ -98,6 +109,23 @@ def main(argv: List[str] | None = None) -> int:
         recorder = TraceRecorder()
         observers.append(recorder)
 
+    def write_artifacts() -> None:
+        """Flush whatever the observers recorded — also on aborted runs."""
+        if metrics is not None:
+            snap = metrics.snapshot()
+            print(f"\ntasks: {snap.num_tasks} "
+                  f"({snap.num_future_tasks} futures), "
+                  f"gets: {snap.num_gets} ({snap.num_nt_joins} non-tree), "
+                  f"shared accesses: {snap.num_shared_accesses}")
+        if args.dot and graph_builder is not None:
+            with open(args.dot, "w") as fh:
+                fh.write(to_dot(graph_builder.graph, title=args.program))
+            print(f"computation graph written to {args.dot}")
+        if args.trace and recorder is not None:
+            recorder.trace.save(args.trace)
+            print(f"trace ({len(recorder.trace)} events) "
+                  f"written to {args.trace}")
+
     rt = Runtime(observers=observers)
     setup = namespace.get("setup")
     try:
@@ -108,28 +136,21 @@ def main(argv: List[str] | None = None) -> int:
             rt.run(entry)
     except RaceError as exc:
         print(f"RACE (aborted at first): {exc}")
+        write_artifacts()
         return 1
     except UnsupportedConstructError as exc:
         print(f"unsupported construct for --detector {args.detector}: {exc}",
               file=sys.stderr)
+        write_artifacts()
+        return 2
+    except Exception as exc:
+        print(f"error: {args.program} raised "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        write_artifacts()
         return 2
 
     print(detector.report.summary())
-
-    if metrics is not None:
-        snap = metrics.snapshot()
-        print(f"\ntasks: {snap.num_tasks} ({snap.num_future_tasks} futures), "
-              f"gets: {snap.num_gets} ({snap.num_nt_joins} non-tree), "
-              f"shared accesses: {snap.num_shared_accesses}")
-
-    if args.dot and graph_builder is not None:
-        with open(args.dot, "w") as fh:
-            fh.write(to_dot(graph_builder.graph, title=args.program))
-        print(f"computation graph written to {args.dot}")
-
-    if args.trace and recorder is not None:
-        recorder.trace.save(args.trace)
-        print(f"trace ({len(recorder.trace)} events) written to {args.trace}")
+    write_artifacts()
 
     if args.witness and graph_builder is not None and detector.report.has_races:
         closure = ReachabilityClosure(graph_builder.graph)

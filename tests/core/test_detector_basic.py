@@ -170,3 +170,42 @@ def test_ablation_flags_reach_dtrg():
     assert det.dtrg.use_lsa is False
     assert det.dtrg.memoize_visit is False
     assert det.dtrg.use_intervals is False
+
+
+def test_future_covered_reader_not_dropped():
+    """Soundness regression (found by differential fuzzing, scoped flow).
+
+    The read inside the future's finish is summarized by the future's end,
+    so ``g.get()`` orders it before the write while the sibling async's
+    read stays parallel.  The single-async-representative policy must not
+    let the future-covered reader stand in for the plain async one."""
+
+    def prog(rt, mem):
+        def future_body():
+            with rt.finish():
+                rt.async_(lambda: mem.read(0))
+
+        f = rt.future(future_body)
+        rt.async_(lambda: mem.read(0))
+        rt.async_(lambda: (f.get(), mem.write(0, 1)))
+
+    det = run(prog)
+    assert det.report.racy_locations == {("x", 0)}
+    kinds = {race.kind for race in det.races}
+    assert AccessKind.READ_WRITE in kinds
+
+
+def test_future_covered_applies_transitively():
+    """A reader nested two asyncs below a future is still future-covered."""
+
+    def prog(rt, mem):
+        def future_body():
+            with rt.finish():
+                rt.async_(lambda: rt.async_(lambda: mem.read(0)))
+
+        f = rt.future(future_body)
+        rt.async_(lambda: mem.read(0))
+        rt.async_(lambda: (f.get(), mem.write(0, 1)))
+
+    det = run(prog)
+    assert det.report.racy_locations == {("x", 0)}

@@ -1,0 +1,169 @@
+"""End-to-end tests for the ``repro-fuzz`` differential fuzzer."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.core.detector as detector_mod
+import repro.tools.fuzz as fuzz
+from repro.testing.codec import entry_from_data
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Future,
+    Get,
+    Program,
+    Read,
+    Write,
+    count_stmts,
+)
+from repro.tools.racecheck import DETECTORS
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+#: Minimal reproducer for the Lemma-4 future-covered-reader soundness bug.
+FUTURE_COVERED_REPRO = Program(
+    body=(
+        Future((Finish((Async((Read(0),)),)),)),
+        Async((Read(0),)),
+        Async((Get(0.0), Write(0))),
+    ),
+    num_locs=1,
+)
+
+
+def plant_future_covered_bug(monkeypatch):
+    """Revert the detector to its pre-fix semantics: only the future task
+    itself counts as future-covered, not its spawn-tree descendants."""
+
+    def broken_on_task_create(self, parent, child):
+        self._names[child.tid] = child.name
+        self._future_covered[child.tid] = child.is_future
+        self.dtrg.add_task(
+            parent.tid, child.tid, is_future=child.is_future, name=child.name
+        )
+
+    monkeypatch.setattr(
+        detector_mod.DeterminacyRaceDetector,
+        "on_task_create",
+        broken_on_task_create,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Clean runs                                                             #
+# ---------------------------------------------------------------------- #
+def test_small_fuzz_run_is_clean(capsys):
+    assert fuzz.main(["--seeds", "0:6"]) == 0
+    out = capsys.readouterr().out
+    assert "no divergences" in out
+    assert "brute-force" in out and "dtrg" in out
+    assert "fuzz run summary" in out
+
+
+def test_scoped_only_mode(capsys):
+    assert fuzz.main(["--seeds", "0:4", "--mode", "scoped"]) == 0
+    out = capsys.readouterr().out
+    # restricted detectors only run in scoped mode, so they must appear
+    assert "spd3" in out and "offset-span" in out
+
+
+def test_replay_corpus_cli(capsys):
+    assert fuzz.main(["--replay-corpus", str(CORPUS_DIR)]) == 0
+    out = capsys.readouterr().out
+    assert "corpus replay clean" in out
+    assert "dtrg_future_covered_reader: ok" in out
+
+
+@pytest.mark.parametrize("bad", ["5", "3:3", "4:1", "a:b"])
+def test_bad_seed_range_is_a_usage_error(bad):
+    with pytest.raises(SystemExit) as excinfo:
+        fuzz.main(["--seeds", bad])
+    assert excinfo.value.code == 2
+
+
+# ---------------------------------------------------------------------- #
+# Planted bugs must be caught, minimized, and gated by the corpus        #
+# ---------------------------------------------------------------------- #
+def test_planted_soundness_bug_is_flagged_and_minimized(monkeypatch, tmp_path):
+    plant_future_covered_bug(monkeypatch)
+    failures = fuzz.check_seed(0, FUTURE_COVERED_REPRO, modes=("scoped",))
+    assert [f.signature for f in failures] == ["scoped:divergence:dtrg:missing"]
+
+    failure = failures[0]
+    fuzz._shrink_failure(failure, budget=600)
+    assert failure.minimized is not None
+    assert count_stmts(failure.minimized.body) <= count_stmts(
+        FUTURE_COVERED_REPRO.body
+    )
+
+    fuzz.write_corpus_entries([failure], tmp_path)
+    paths = list(tmp_path.glob("*.json"))
+    assert len(paths) == 1
+    with open(paths[0]) as fh:
+        entry = entry_from_data(json.load(fh))
+    assert entry.racy_locs == (0,)  # the oracle's (correct) verdict
+
+    # The regression gate now fails while the bug is planted...
+    assert fuzz.main(["--replay-corpus", str(tmp_path)]) == 1
+
+
+def test_corpus_gate_catches_the_planted_bug(monkeypatch, capsys):
+    """With the pre-fix detector planted, the checked-in corpus goes red —
+    exactly the regression the corpus exists to catch."""
+    plant_future_covered_bug(monkeypatch)
+    assert fuzz.main(["--replay-corpus", str(CORPUS_DIR)]) == 1
+    out = capsys.readouterr().out
+    assert "dtrg_future_covered_reader: FAIL" in out
+
+
+def test_planted_verdict_divergence_in_fuzz_range(monkeypatch):
+    """A detector that drops one racy location diverges on racy seeds."""
+    exact_cls = DETECTORS["exact"]
+
+    class MissingOneExact(exact_cls):
+        @property
+        def racy_locations(self):
+            full = set(exact_cls.racy_locations.fget(self))
+            if full:
+                full.discard(min(full))
+            return full
+
+    monkeypatch.setitem(fuzz.DETECTORS, "exact", MissingOneExact)
+    stats, failures = fuzz.fuzz_range(
+        range(0, 8), modes=("scoped",), shrink=False
+    )
+    signatures = {f.signature for f in failures}
+    assert "scoped:divergence:exact:missing" in signatures
+    assert stats.failures > 0
+
+
+def test_planted_crash_is_flagged(monkeypatch):
+    class CrashingExact(DETECTORS["exact"]):
+        def on_write(self, task, loc):
+            raise RuntimeError("injected fault")
+
+    monkeypatch.setitem(fuzz.DETECTORS, "exact", CrashingExact)
+    stats, failures = fuzz.fuzz_range(
+        range(0, 2), modes=("scoped",), shrink=False
+    )
+    assert any(
+        f.kind == "crash" and f.detector == "exact"
+        and "RuntimeError" in f.signature
+        for f in failures
+    )
+
+
+def test_fuzz_range_dedupes_signatures(monkeypatch):
+    class CrashingExact(DETECTORS["exact"]):
+        def on_write(self, task, loc):
+            raise RuntimeError("injected fault")
+
+    monkeypatch.setitem(fuzz.DETECTORS, "exact", CrashingExact)
+    stats, failures = fuzz.fuzz_range(
+        range(0, 6), modes=("scoped",), shrink=False
+    )
+    crash_sigs = [f.signature for f in failures if f.detector == "exact"]
+    assert len(crash_sigs) == len(set(crash_sigs))  # deduplicated
+    assert stats.failures >= len(crash_sigs)  # raw count keeps every hit

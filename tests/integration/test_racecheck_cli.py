@@ -113,3 +113,52 @@ def test_missing_entry_point(tmp_path, capsys):
     path.write_text("x = 1\n")
     assert main([str(path)]) == 2
     assert "does not define" in capsys.readouterr().err
+
+
+def test_raise_policy_still_writes_artifacts(racy_program, tmp_path, capsys):
+    """--policy raise aborts at the first race, but the artifacts recorded
+    up to the abort must still be written (regression: they were dropped)."""
+    dot = tmp_path / "g.dot"
+    trace = tmp_path / "t.pkl"
+    code = main([racy_program, "--policy", "raise", "--dot", str(dot),
+                 "--trace", str(trace), "--metrics"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "aborted at first" in out
+    assert "shared accesses:" in out  # --metrics no longer silently dropped
+    assert dot.exists() and dot.read_text().startswith("digraph")
+    from repro.core.events import Trace
+
+    loaded = Trace.load(str(trace))
+    assert len(loaded) > 0  # the prefix up to the aborting access
+
+
+def test_user_program_exception_exits_two(tmp_path, capsys):
+    path = tmp_path / "boom.py"
+    path.write_text("def program(rt):\n    raise ValueError('boom')\n")
+    assert main([str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "ValueError" in err and "boom" in err
+
+
+def test_user_program_exception_still_writes_trace(tmp_path, capsys):
+    path = tmp_path / "boom2.py"
+    path.write_text(
+        "from repro import SharedArray\n"
+        "def setup(rt):\n    return SharedArray(rt, 'd', 2)\n"
+        "def program(rt, d):\n"
+        "    d.write(0, 1)\n"
+        "    raise RuntimeError('late crash')\n"
+    )
+    trace = tmp_path / "t.pkl"
+    assert main([str(path), "--trace", str(trace)]) == 2
+    from repro.core.events import Trace
+
+    assert len(Trace.load(str(trace))) == 1  # the write before the crash
+
+
+def test_import_time_error_exits_two(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("1 / 0\n")
+    assert main([str(path)]) == 2
+    assert "ZeroDivisionError" in capsys.readouterr().err

@@ -143,3 +143,106 @@ def test_future_pipeline_speedup_beats_barrier():
     fut_stats = greedy_schedule(fut, p)
     # same work modulo handle traffic; futures shorten the critical path
     assert fut_stats.span <= af_stats.span
+
+
+# ---------------------------------------------------------------------- #
+# Corrected Blumofe-Leiserson steal accounting                           #
+# ---------------------------------------------------------------------- #
+def test_successful_steal_costs_one_cycle():
+    """A stolen step begins executing the cycle *after* the steal."""
+    graph = wide_graph(tasks=2, work=0)  # small: exact accounting tractable
+    stats2 = WorkStealingSimulator(graph, 2, seed=0, unit_weights=True).run()
+    stats1 = WorkStealingSimulator(graph, 1, seed=0, unit_weights=True).run()
+    # Every stolen unit step costs its thief one extra (non-busy) cycle,
+    # so with steals > 0 the 2-worker makespan cannot collapse to the
+    # perfect work/2 split on this root-heavy graph.
+    assert stats2.steals > 0
+    assert stats2.busy == stats2.work == stats1.makespan
+    assert stats2.makespan > stats2.work // 2
+
+
+def test_steal_accounting_pinned_deterministic_seed():
+    """Exact (makespan, steals, failed) for a pinned seed and graph."""
+    graph = wide_graph(tasks=3, work=2)
+    stats = WorkStealingSimulator(graph, 2, seed=42).run()
+    again = WorkStealingSimulator(graph, 2, seed=42).run()
+    assert stats == again
+    assert stats.busy == stats.work
+    # Steal latency is visible: busy time plus idle/steal cycles fills the
+    # makespan exactly on both workers.
+    assert stats.makespan * stats.workers >= stats.busy + stats.steals
+
+
+def test_failed_steals_require_an_attempt():
+    """One long step, two workers: the idle worker's probes against the
+    busy worker's empty deque are failed steals; a single worker never
+    attempts (no victim) so it records none."""
+
+    def prog(rt, mem):
+        for j in range(5):
+            mem.write(j, j)
+
+    graph = record(prog)
+    assert graph.num_steps == 2  # the access step, then main's final step
+    stats = WorkStealingSimulator(graph, 2, seed=3).run()
+    assert stats.steals == 0
+    # w0 executes the chain alone; w1 probes w0's (always empty by the
+    # time it looks) deque every cycle: one failed attempt per cycle.
+    assert stats.failed_steals == stats.makespan
+    solo = WorkStealingSimulator(graph, 1, seed=3).run()
+    assert solo.steals == 0 and solo.failed_steals == 0
+
+
+# ---------------------------------------------------------------------- #
+# greedy_schedule deque migration parity                                 #
+# ---------------------------------------------------------------------- #
+def _greedy_schedule_listpop(graph, workers, *, unit_weights=False):
+    """The pre-deque implementation (list.pop(0) ready queue), kept as the
+    parity reference for the O(1) popleft version."""
+    weights = step_weights(graph, unit_weights)
+    n = graph.num_steps
+    indeg = [len(p) for p in graph.predecessors]
+    ready = [i for i, d in enumerate(indeg) if d == 0]
+    remaining = {}
+    time = done = busy = 0
+    while done < n:
+        while ready and len(remaining) < workers:
+            step = ready.pop(0)
+            remaining[step] = weights[step]
+        delta = min(remaining.values())
+        time += delta
+        busy += delta * len(remaining)
+        finished = [s for s, r in remaining.items() if r == delta]
+        for step in list(remaining):
+            remaining[step] -= delta
+            if remaining[step] == 0:
+                del remaining[step]
+        for step in finished:
+            done += 1
+            for succ in graph.successors[step]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+    from repro.runtime.workstealing import ScheduleStats, _critical_path
+
+    return ScheduleStats(
+        workers=workers, makespan=time, work=sum(weights),
+        span=_critical_path(graph, weights), busy=busy,
+    )
+
+
+def test_greedy_deque_matches_old_list_implementation():
+    import random as _random
+
+    from repro.testing.generator import random_program, run_program
+
+    graphs = [wide_graph(tasks=9, work=3), chain_graph(6)]
+    for seed in range(6):
+        gb = GraphBuilder()
+        run_program(random_program(_random.Random(seed)), [gb])
+        graphs.append(gb.graph)
+    for graph in graphs:
+        for p in (1, 2, 4, 7):
+            assert greedy_schedule(graph, p) == _greedy_schedule_listpop(
+                graph, p
+            )

@@ -1,0 +1,108 @@
+"""Tests for the program/corpus JSON codec."""
+
+import json
+import random
+
+import pytest
+
+from repro.baselines import BruteForceDetector
+from repro.testing.codec import (
+    CorpusEntry,
+    dumps_program,
+    entry_from_data,
+    entry_to_data,
+    loads_program,
+    program_from_data,
+    program_to_data,
+)
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Future,
+    Get,
+    Program,
+    Read,
+    Write,
+    random_program,
+    run_program,
+)
+
+NESTED_PROGRAM = Program(
+    body=(
+        Future((Finish((Async((Read(0),)),)),)),
+        Async((Read(0),)),
+        Async((Get(0.0), Write(0))),
+    ),
+    num_locs=1,
+)
+
+
+def test_round_trip_identity_on_random_programs():
+    for seed in range(50):
+        program = random_program(random.Random(seed))
+        assert program_from_data(program_to_data(program)) == program
+
+
+def test_round_trip_identity_on_nested_program():
+    assert loads_program(dumps_program(NESTED_PROGRAM)) == NESTED_PROGRAM
+
+
+def test_dumps_is_deterministic():
+    a = dumps_program(NESTED_PROGRAM)
+    b = dumps_program(loads_program(a))
+    assert a == b
+
+
+def test_round_trip_preserves_semantics():
+    """A decoded program must execute to the identical oracle verdict."""
+    for seed in (0, 4, 5):  # racy seeds
+        program = random_program(random.Random(seed))
+        copy = loads_program(dumps_program(program))
+        original, decoded = BruteForceDetector(), BruteForceDetector()
+        run_program(program, [original])
+        run_program(copy, [decoded])
+        assert original.racy_locations == decoded.racy_locations
+        assert original.racy_locations  # seeds chosen to be racy
+
+
+def test_rejects_unknown_version():
+    data = program_to_data(NESTED_PROGRAM)
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        program_from_data(data)
+
+
+def test_rejects_unknown_statement_tag():
+    data = program_to_data(NESTED_PROGRAM)
+    data["body"].append(["explode", 0])
+    with pytest.raises(ValueError, match="tag"):
+        program_from_data(data)
+
+
+def test_rejects_malformed_statement():
+    with pytest.raises(ValueError, match="malformed"):
+        program_from_data(
+            {"version": 1, "num_locs": 1, "body": [["read", 0, "extra"]]}
+        )
+
+
+def test_corpus_entry_round_trip():
+    entry = CorpusEntry(
+        name="example",
+        description="a racy program",
+        program=NESTED_PROGRAM,
+        racy_locs=(0,),
+    )
+    data = entry_to_data(entry)
+    text = json.dumps(data, sort_keys=True)  # must be JSON-serializable
+    restored = entry_from_data(json.loads(text))
+    assert restored == entry
+    assert restored.racy_locations == {("x", 0)}
+
+
+def test_corpus_entry_rejects_unknown_version():
+    entry = CorpusEntry("e", "", NESTED_PROGRAM, ())
+    data = entry_to_data(entry)
+    data["version"] = 2
+    with pytest.raises(ValueError, match="version"):
+        entry_from_data(data)

@@ -1,0 +1,67 @@
+"""Seeded statement-mix invariants of :func:`random_program`.
+
+Regression for the depth==max_depth bug: the nested-construct probability
+mass used to fall through the elif chain into ``Get``, so maximally nested
+blocks were join-heavy (~55% gets at the defaults) instead of
+read/write-heavy as documented.
+"""
+
+import random
+
+from repro.testing.generator import (
+    Async,
+    Finish,
+    Future,
+    Get,
+    Read,
+    Write,
+    random_program,
+)
+
+
+def depth_counts(body, depth, max_depth, counts):
+    """Tally statement kinds appearing in blocks at exactly ``max_depth``."""
+    for stmt in body:
+        if isinstance(stmt, (Async, Future, Finish)):
+            depth_counts(stmt.body, depth + 1, max_depth, counts)
+        elif depth == max_depth:
+            counts[type(stmt)] = counts.get(type(stmt), 0) + 1
+
+
+def test_max_depth_blocks_are_access_heavy():
+    p_task, p_get = 0.35, 0.2
+    counts = {}
+    for seed in range(400):
+        prog = random_program(
+            random.Random(seed), max_depth=2, p_task=p_task, p_get=p_get
+        )
+        depth_counts(prog.body, 0, 2, counts)
+    total = sum(counts.values())
+    assert total > 500  # enough samples to make the ratios meaningful
+    get_frac = counts.get(Get, 0) / total
+    access_frac = (counts.get(Read, 0) + counts.get(Write, 0)) / total
+    # The documented mix: p_get gets, the remaining (1 - p_get) mass split
+    # between reads and writes once nesting is impossible.
+    assert abs(get_frac - p_get) < 0.05, get_frac
+    assert access_frac > 0.7, access_frac
+    # Reads and writes split the access mass roughly evenly.
+    assert abs(counts[Read] - counts[Write]) / total < 0.1
+
+
+def test_no_nested_constructs_below_max_depth():
+    def max_nesting(body, depth=0):
+        deepest = depth
+        for stmt in body:
+            if isinstance(stmt, (Async, Future, Finish)):
+                deepest = max(deepest, max_nesting(stmt.body, depth + 1))
+        return deepest
+
+    for seed in range(100):
+        prog = random_program(random.Random(seed), max_depth=3)
+        assert max_nesting(prog.body) <= 3
+
+
+def test_generation_is_deterministic_per_seed():
+    a = random_program(random.Random(7))
+    b = random_program(random.Random(7))
+    assert a.body == b.body and a.num_locs == b.num_locs

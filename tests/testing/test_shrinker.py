@@ -1,0 +1,123 @@
+"""Tests for the hypothesis-free ddmin shrinker."""
+
+import random
+
+from repro.baselines import BruteForceDetector
+from repro.testing.generator import (
+    Async,
+    Program,
+    Read,
+    Write,
+    count_stmts,
+    random_program,
+    run_program,
+)
+from repro.testing.shrinker import ddmin, shrink_program
+
+
+# ---------------------------------------------------------------------- #
+# ddmin                                                                  #
+# ---------------------------------------------------------------------- #
+def test_ddmin_single_needle():
+    assert ddmin(list(range(20)), lambda xs: 7 in xs) == [7]
+
+
+def test_ddmin_two_needles_preserves_order():
+    result = ddmin(list(range(20)), lambda xs: 3 in xs and 11 in xs)
+    assert result == [3, 11]
+
+
+def test_ddmin_empty_when_predicate_vacuous():
+    assert ddmin(list(range(10)), lambda xs: True) == []
+
+
+def test_ddmin_keeps_everything_when_all_needed():
+    items = [1, 2, 3]
+    assert ddmin(items, lambda xs: xs == items) == items
+
+
+def test_ddmin_result_is_one_minimal():
+    needles = {2, 9, 15}
+    result = ddmin(list(range(20)), lambda xs: needles <= set(xs))
+    assert set(result) == needles
+    for i in range(len(result)):  # removing any single element breaks it
+        assert not needles <= set(result[:i] + result[i + 1:])
+
+
+# ---------------------------------------------------------------------- #
+# shrink_program                                                         #
+# ---------------------------------------------------------------------- #
+def _has_write(body):
+    for stmt in body:
+        if isinstance(stmt, Write):
+            return True
+        if hasattr(stmt, "body") and _has_write(stmt.body):
+            return True
+    return False
+
+
+def test_shrink_to_structural_predicate():
+    """'Contains a write' should shrink to the single-statement program."""
+    program = random_program(random.Random(4))
+    assert _has_write(program.body)
+    small = shrink_program(program, lambda p: _has_write(p.body))
+    assert small.body == (Write(0),)
+    assert small.num_locs == 1
+
+
+def test_shrink_racy_program_stays_racy_and_gets_small():
+    def is_racy(program):
+        det = BruteForceDetector()
+        run_program(program, [det])
+        return bool(det.racy_locations)
+
+    program = random_program(random.Random(4))
+    assert is_racy(program)
+    small = shrink_program(program, is_racy)
+    assert is_racy(small)
+    # Minimal racy programs look like `async { write x0 }; write x0`.
+    assert count_stmts(small.body) <= 4
+    assert count_stmts(small.body) < count_stmts(program.body)
+
+
+def test_shrink_returns_original_when_not_reproducing():
+    program = random_program(random.Random(1))
+    assert shrink_program(program, lambda p: False) is program
+
+
+def test_shrink_predicate_exception_counts_as_not_reproducing():
+    program = random_program(random.Random(1))
+
+    def explode(p):
+        raise RuntimeError("boom")
+
+    assert shrink_program(program, explode) is program
+
+
+def test_shrink_respects_budget():
+    calls = 0
+
+    def counting(p):
+        nonlocal calls
+        calls += 1
+        return _has_write(p.body)
+
+    program = random_program(random.Random(4))
+    shrink_program(program, counting, budget=5)
+    assert calls <= 5
+
+
+def test_shrink_handles_trivial_program():
+    program = Program(body=(Read(0),), num_locs=1)
+    small = shrink_program(program, lambda p: True)
+    assert small.body == ()
+
+
+def test_shrink_hoists_nesting():
+    """A needle buried three constructs deep surfaces to the top level."""
+    program = Program(
+        body=(Async((Async((Async((Write(2), Read(1))),)),)),), num_locs=3
+    )
+    small = shrink_program(program, lambda p: _has_write(p.body))
+    assert small.body == (Write(0),)
+    assert small.num_locs == 1
