@@ -1,0 +1,124 @@
+"""Observability overhead: disabled tracing must cost (close to) nothing.
+
+The :mod:`repro.obs` layer is wired through the hottest code in the
+repository — ``precede``, the shadow-memory checks, every runtime
+boundary.  Its design promise is the null-object protocol: with ``obs``
+unset (or :data:`~repro.obs.NULL_OBSERVABILITY`) no hook point installs
+anything, so the executed bytecode is the pre-observability code path.
+This benchmark holds the layer to that promise on the Jacobi workload
+(the future-heavy stencil whose detection run is access-dominated),
+runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick]
+
+Three configurations, same workload, min-of-N wall time:
+
+1. **baseline** — detector run exactly as before this layer existed;
+2. **null**     — ``obs=NULL_OBSERVABILITY`` threaded through runtime and
+   detector (must be within ``--max-overhead`` of baseline, default 5%);
+3. **enabled**  — full metrics + ring tracer (reported for context, not
+   asserted: tracing is allowed to cost what it costs).
+
+The run also asserts the Table-2 structural columns are bit-identical
+across all three configurations — instrumentation must observe, never
+perturb.  Exit status 1 on either violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+
+from repro.obs import NULL_OBSERVABILITY, MetricsRegistry, Observability, RingTracer
+from repro.workloads import jacobi
+from repro.workloads.common import run_instrumented
+
+
+def _timed(fn) -> float:
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _run(params, obs):
+    return run_instrumented(
+        lambda rt: jacobi.run_future(rt, params), detect=True, obs=obs
+    )
+
+
+def _structure(run) -> tuple:
+    m = run.metrics
+    return (
+        m.num_tasks,
+        m.num_nt_joins,
+        m.num_shared_accesses,
+        run.detector.dtrg.num_precede_queries,
+        run.detector.dtrg.num_visits,
+        round(run.avg_readers, 12),
+        len(run.races),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny scale, fewer repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="allowed fractional slowdown of the "
+                             "disabled-obs run vs baseline (default 0.05)")
+    args = parser.parse_args(argv)
+
+    scale = "tiny" if args.quick else "small"
+    repeats = args.repeats or (3 if args.quick else 5)
+    params = jacobi.default_params(scale)
+
+    def best(obs_factory) -> tuple:
+        best_wall, structure = float("inf"), None
+        for _ in range(repeats):
+            holder = {}
+            wall = _timed(lambda: holder.update(run=_run(params, obs_factory())))
+            best_wall = min(best_wall, wall)
+            structure = _structure(holder["run"])
+        return best_wall, structure
+
+    base_wall, base_struct = best(lambda: None)
+    null_wall, null_struct = best(lambda: NULL_OBSERVABILITY)
+    on_wall, on_struct = best(
+        lambda: Observability(tracer=RingTracer(), registry=MetricsRegistry())
+    )
+
+    overhead = (null_wall - base_wall) / base_wall if base_wall else 0.0
+    enabled_x = on_wall / base_wall if base_wall else 0.0
+    print(f"jacobi scale={scale} repeats={repeats}")
+    print(f"  baseline (no obs):        {base_wall * 1e3:9.1f} ms")
+    print(f"  NULL_OBSERVABILITY:       {null_wall * 1e3:9.1f} ms "
+          f"({overhead:+.1%} vs baseline)")
+    print(f"  enabled (trace+metrics):  {on_wall * 1e3:9.1f} ms "
+          f"({enabled_x:.2f}x baseline)")
+
+    ok = True
+    if not (base_struct == null_struct == on_struct):
+        print("FAIL: structural columns differ across obs configurations:"
+              f"\n  baseline {base_struct}\n  null     {null_struct}"
+              f"\n  enabled  {on_struct}")
+        ok = False
+    if overhead > args.max_overhead:
+        print(f"FAIL: disabled-obs overhead {overhead:.1%} exceeds "
+              f"{args.max_overhead:.0%}")
+        ok = False
+    if ok:
+        print(f"PASS: disabled path within {args.max_overhead:.0%}, "
+              "structure bit-identical")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

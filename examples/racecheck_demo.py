@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A small future-heavy program shaped for ``repro-racecheck``.
+
+Unlike the other examples (self-contained scripts with their own
+``main()``), this file exposes the ``setup(rt)`` / ``program(rt, state)``
+surface the CLI loads, so it doubles as the repository's demo input:
+
+    repro-racecheck examples/racecheck_demo.py \
+        --perfetto trace.json --metrics-json metrics.json
+
+The program is a tiny wavefront: a grid of futures where cell (i, j)
+``get()``s its left and upper neighbours — every interior join is a
+non-tree join, so the trace shows real PRECEDE searches (not just level-0
+answers), and the last row's deliberate unsynchronized read produces one
+read-write race for the report.  CI validates the emitted trace with
+``python -m repro.obs.validate``.
+"""
+
+from repro import SharedArray
+
+N = 4
+
+
+def setup(rt):
+    return SharedArray(rt, "grid", N * N)
+
+
+def program(rt, grid):
+    futures = {}
+
+    def cell(i, j):
+        left = futures.get((i, j - 1))
+        up = futures.get((i - 1, j))
+        acc = 1
+        if left is not None:
+            acc += left.get()
+        if up is not None:
+            acc += up.get()
+        grid.write(i * N + j, acc)
+        return acc
+
+    with rt.finish():
+        for i in range(N):
+            for j in range(N):
+                futures[(i, j)] = rt.future(cell, i, j, name=f"cell{i}{j}")
+        # Deliberate race: read a cell without get()ing its producer.
+        grid.read(0)
+    return futures[(N - 1, N - 1)].get()
+
+
+def main():
+    """Run the CLI on this very file and check it catches the race."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs.validate import validate_chrome_trace
+    from repro.tools.racecheck import main as racecheck
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "trace.json"
+        code = racecheck([__file__, "--perfetto", str(trace)])
+        assert code == 1, "the planted race must be reported"
+        import json
+
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+    print("racecheck caught the planted race; trace schema valid")
+
+
+if __name__ == "__main__":
+    main()

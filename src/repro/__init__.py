@@ -29,6 +29,7 @@ from repro.core.exact import ExactDetector
 from repro.core.events import ExecutionObserver, Trace
 from repro.core.races import AccessKind, Race, RaceReport, ReportPolicy
 from repro.core.reachability import DynamicTaskReachabilityGraph
+from repro.obs import MetricsRegistry, Observability, RingTracer
 from repro.memory.shared import (
     SharedArray,
     SharedFutureCell,
@@ -72,6 +73,10 @@ __all__ = [
     "SharedNDArray",
     "SharedMatrix",
     "SharedFutureCell",
+    # observability
+    "Observability",
+    "RingTracer",
+    "MetricsRegistry",
     # errors
     "ReproError",
     "RuntimeStateError",

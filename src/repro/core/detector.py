@@ -66,6 +66,15 @@ class DeterminacyRaceDetector(ExecutionObserver):
         epoch-memoized same-task read fast path.  Default on; switch off
         to measure the paper's plain algorithms (``bench_ablations.py``,
         ``bench_precede_cache.py``).
+    obs:
+        Optional :class:`repro.obs.Observability` sink.  When enabled it
+        is attached to the DTRG (PRECEDE latency/frontier/cache-outcome
+        instrumentation, mutation instants) and the shadow memory
+        (per-access reader-population instrumentation), and races are
+        emitted as trace instants.  ``None`` (default) or a disabled
+        object leaves every hot path on the uninstrumented code —
+        structural counters and verdicts are bit-identical either way
+        (pinned by ``tests/integration/test_obs_integration.py``).
 
     Attributes
     ----------
@@ -87,11 +96,15 @@ class DeterminacyRaceDetector(ExecutionObserver):
         memoize_visit: bool = True,
         use_intervals: bool = True,
         cache_precede: bool = True,
+        obs=None,
     ) -> None:
         if isinstance(policy, str):
             policy = ReportPolicy(policy)
         self.policy = policy
         self.report = RaceReport(dedupe=dedupe)
+        self.obs = (
+            obs if obs is not None and getattr(obs, "enabled", False) else None
+        )
         self.dtrg = DynamicTaskReachabilityGraph(
             use_lsa=use_lsa,
             memoize_visit=memoize_visit,
@@ -99,6 +112,10 @@ class DeterminacyRaceDetector(ExecutionObserver):
             cache_precede=cache_precede,
         )
         dtrg = self.dtrg
+        # Attach before binding dtrg.precede below, so the shadow memory
+        # queries through the traced entry point when tracing is on.
+        if self.obs is not None:
+            dtrg.attach_observability(self.obs)
         self.shadow = ShadowMemory(
             precede=dtrg.precede,
             is_future=self._is_future_covered,
@@ -108,6 +125,8 @@ class DeterminacyRaceDetector(ExecutionObserver):
             # the unconditional structural identities).
             epoch=(lambda: dtrg.mutation_epoch) if cache_precede else None,
         )
+        if self.obs is not None:
+            self.shadow.attach_observability(self.obs)
         self._names: dict[int, str] = {}
         #: tid -> "future-covered": the task is a future or has a future
         #: among its spawn-tree ancestors.  The shadow memory's reader-set
@@ -217,5 +236,7 @@ class DeterminacyRaceDetector(ExecutionObserver):
             current_name=self._names.get(cur, ""),
         )
         added = self.report.add(race)
+        if added and self.obs is not None:
+            self.obs.on_race(kind, prev, cur, loc)
         if added and self.policy is ReportPolicy.RAISE:
             raise RaceError(race)

@@ -149,9 +149,20 @@ class DynamicTaskReachabilityGraph:
         self.mutation_epoch = 0
         # Statistics for complexity tests / benchmarks.
         self.num_precede_queries = 0
+        #: VISIT *expansions*: sets added to a query's visited set whose
+        #: non-tree frontier is then scanned (including the significant-
+        #: ancestor expansions of ``_explore``).  Queries resolved at
+        #: level 0 — same set, interval containment, preorder prune, empty
+        #: frontier — or from the cache contribute zero, so the counter
+        #: measures exactly the backward-search work Theorem 1 bounds.
+        #: Without ``memoize_visit`` a set re-expanded after backtracking
+        #: counts once per expansion (the cost that ablation measures).
         self.num_visits = 0
         self.num_non_tree_edges = 0
         self.num_tree_merges = 0
+        # Observability hook (installed by attach_observability; the
+        # default path carries no instrumentation at all).
+        self._obs = None
 
     # ------------------------------------------------------------------ #
     # Construction (Algorithms 1-7)                                      #
@@ -248,6 +259,84 @@ class DynamicTaskReachabilityGraph:
         self.mutation_epoch += 1
 
     # ------------------------------------------------------------------ #
+    # Observability (repro.obs)                                          #
+    # ------------------------------------------------------------------ #
+    def attach_observability(self, obs) -> None:
+        """Install tracing/metrics instrumentation for ``obs``.
+
+        Null-object protocol: ``None`` or a disabled observability object
+        (``obs.enabled`` false) leaves the graph completely untouched —
+        the default methods carry no instrumentation, so the disabled
+        path costs nothing (asserted by ``bench_obs_overhead.py``).
+
+        When enabled, the query and the four mutators are shadowed by
+        instance-attribute bindings of their ``_traced_*`` twins, which
+        delegate to the plain implementations and report to ``obs``:
+        PRECEDE queries with wall time, VISIT-expansion count and cache
+        outcome; mutations as instant events carrying the new epoch.
+        """
+        if obs is None or not getattr(obs, "enabled", False):
+            return
+        self._obs = obs
+        self.precede = self._traced_precede
+        self.add_task = self._traced_add_task
+        self.record_join = self._traced_record_join
+        self.merge = self._traced_merge
+        self.on_terminate = self._traced_on_terminate
+
+    def _traced_precede(self, a_key: Hashable, b_key: Hashable) -> bool:
+        from time import perf_counter_ns
+
+        cache = self.cache
+        hits0 = cache.hits if cache is not None else 0
+        misses0 = cache.misses if cache is not None else 0
+        visits0 = self.num_visits
+        start = perf_counter_ns()
+        verdict = DynamicTaskReachabilityGraph.precede(self, a_key, b_key)
+        dur = perf_counter_ns() - start
+        expansions = self.num_visits - visits0
+        if cache is not None and cache.hits > hits0:
+            outcome = "hit"
+        elif cache is not None and cache.misses > misses0:
+            outcome = "miss"
+        elif expansions:
+            outcome = "search"  # cache disabled but the query searched
+        else:
+            outcome = "level0"
+        self._obs.on_precede(
+            a_key, b_key, verdict, dur, expansions, outcome,
+            self.mutation_epoch,
+        )
+        return verdict
+
+    def _traced_add_task(self, parent_key, child_key, *, is_future, name=None):
+        node = DynamicTaskReachabilityGraph.add_task(
+            self, parent_key, child_key, is_future=is_future, name=name
+        )
+        self._obs.on_mutation("add_task", self.mutation_epoch, node.name)
+        return node
+
+    def _traced_record_join(self, consumer_key, producer_key):
+        DynamicTaskReachabilityGraph.record_join(
+            self, consumer_key, producer_key
+        )
+        self._obs.on_mutation(
+            "record_join", self.mutation_epoch,
+            f"{consumer_key}<-{producer_key}",
+        )
+
+    def _traced_merge(self, ancestor_key, descendant_key):
+        DynamicTaskReachabilityGraph.merge(self, ancestor_key, descendant_key)
+        self._obs.on_mutation(
+            "merge", self.mutation_epoch,
+            f"{ancestor_key}+{descendant_key}",
+        )
+
+    def _traced_on_terminate(self, key):
+        DynamicTaskReachabilityGraph.on_terminate(self, key)
+        self._obs.on_mutation("terminate", self.mutation_epoch, str(key))
+
+    # ------------------------------------------------------------------ #
     # Queries (Algorithm 10)                                             #
     # ------------------------------------------------------------------ #
     def precede(self, a_key: Hashable, b_key: Hashable) -> bool:
@@ -273,7 +362,9 @@ class DynamicTaskReachabilityGraph:
         # Level-0 checks are inlined (hot path: most queries resolve here
         # without allocating the visited set — per the HPC guides, this is
         # the measured bottleneck of every access-dominated benchmark).
-        self.num_visits += 1
+        # They bump no counter: ``num_visits`` counts expansions only (see
+        # __init__), and level-0 work is already implied by
+        # ``num_precede_queries``.
         root_b, data_b = sets.root_and_metadata(b)
         if root_b is root_a:
             return True  # same disjoint set: tree-join/continue path exists
@@ -292,6 +383,7 @@ class DynamicTaskReachabilityGraph:
             cached = cache.lookup(root_a, root_b, self.mutation_epoch)
             if cached is not None:
                 return cached
+        self.num_visits += 1  # B's set is expanded by the _explore below
         visited = {root_b}
         verdict = self._explore(root_a, data_a, b, root_b, data_b, visited)
         if cache is not None:
@@ -317,8 +409,13 @@ class DynamicTaskReachabilityGraph:
         after its non-tree sources — while cross-branch re-exploration (the
         cost the ablation measures) still happens.  Both modes compute the
         same backward-reachability verdict.
+
+        ``num_visits`` is bumped only when the set is actually expanded
+        (added to ``visited`` and handed to :meth:`_explore`) — level-0
+        resolutions and already-visited probes are free, keeping the
+        counter's "expansions only" semantics consistent with the inlined
+        level-0 path of :meth:`precede`.
         """
-        self.num_visits += 1
         root_b, data_b = self._sets.root_and_metadata(b)
         if root_b is root_a:
             return True  # same disjoint set: tree-join/continue path exists
@@ -337,6 +434,7 @@ class DynamicTaskReachabilityGraph:
         if root_b in visited:
             return False
         visited.add(root_b)
+        self.num_visits += 1
         found = self._explore(root_a, data_a, b, root_b, data_b, visited)
         if not found and not self.memoize_visit:
             visited.discard(root_b)
@@ -375,6 +473,7 @@ class DynamicTaskReachabilityGraph:
                 root_anc, data_anc = self._sets.root_and_metadata(anc)
                 if root_anc not in visited:
                     visited.add(root_anc)
+                    self.num_visits += 1
                     if expanded is None:
                         expanded = [root_anc]
                     else:
@@ -393,6 +492,7 @@ class DynamicTaskReachabilityGraph:
                 root_anc = self._sets.find(anc_task)
                 if root_anc is not root_b and root_anc not in visited:
                     visited.add(root_anc)
+                    self.num_visits += 1
                     if expanded is None:
                         expanded = [root_anc]
                     else:

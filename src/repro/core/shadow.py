@@ -137,6 +137,52 @@ class ShadowMemory:
         #: PRECEDE calls the fast paths skipped that the plain Algorithms
         #: 8-9 would have issued.
         self.num_precede_calls_saved = 0
+        # Observability hook (installed by attach_observability; the
+        # default path carries no instrumentation at all).
+        self._obs = None
+
+    # ------------------------------------------------------------------ #
+    # Observability (repro.obs)                                          #
+    # ------------------------------------------------------------------ #
+    def attach_observability(self, obs) -> None:
+        """Install per-access tracing/metrics instrumentation.
+
+        Null-object protocol: ``None`` or a disabled observability object
+        is ignored and the default (uninstrumented) :meth:`read`/
+        :meth:`write` stay in place.  When enabled, the two access checks
+        are shadowed by traced twins reporting each check's kind, stored
+        reader population and wall time to ``obs`` (the population feeds
+        the ``cell_readers`` histogram behind Table 2's ``#AvgReaders``).
+        """
+        if obs is None or not getattr(obs, "enabled", False):
+            return
+        self._obs = obs
+        self.read = self._traced_read
+        self.write = self._traced_write
+
+    def _traced_read(self, task: int, loc: Hashable) -> None:
+        from time import perf_counter_ns
+
+        readers0 = self.total_readers_seen
+        start = perf_counter_ns()
+        ShadowMemory.read(self, task, loc)
+        dur = perf_counter_ns() - start
+        # The plain check adds the stored population to the running total
+        # exactly once per access, so the delta is the population it saw.
+        self._obs.on_shadow_access(
+            "read", task, loc, self.total_readers_seen - readers0, dur
+        )
+
+    def _traced_write(self, task: int, loc: Hashable) -> None:
+        from time import perf_counter_ns
+
+        readers0 = self.total_readers_seen
+        start = perf_counter_ns()
+        ShadowMemory.write(self, task, loc)
+        dur = perf_counter_ns() - start
+        self._obs.on_shadow_access(
+            "write", task, loc, self.total_readers_seen - readers0, dur
+        )
 
     # ------------------------------------------------------------------ #
     def cell(self, loc: Hashable) -> ShadowCell:

@@ -75,19 +75,25 @@ class DetectorPerf:
     @classmethod
     def from_detector(cls, detector) -> "DetectorPerf":
         """Build from a :class:`~repro.core.detector.DeterminacyRaceDetector`
-        (``None`` yields all-zero counters)."""
+        (``None`` yields all-zero counters).
+
+        Missing stats default to zero: ablated detectors (``--no-cache``,
+        subclasses, duck-typed stand-ins in the fuzz harness) may omit
+        cache counters from ``perf_stats``; indexing them directly raised
+        ``KeyError`` and took the whole Table-2 report down with it.
+        """
         if detector is None:
             return cls()
         stats = detector.perf_stats
         return cls(
-            precede_queries=stats["precede_queries"],
-            cache_hits=stats["cache_hits"],
-            cache_misses=stats["cache_misses"],
-            cache_invalidations=stats["cache_invalidations"],
-            cache_hit_rate=stats["cache_hit_rate"],
-            epoch_bumps=stats["mutation_epoch"],
-            shadow_fast_hits=stats["shadow_fast_hits"],
-            precede_calls_saved=stats["precede_calls_saved"],
+            precede_queries=stats.get("precede_queries", 0),
+            cache_hits=stats.get("cache_hits", 0),
+            cache_misses=stats.get("cache_misses", 0),
+            cache_invalidations=stats.get("cache_invalidations", 0),
+            cache_hit_rate=stats.get("cache_hit_rate", 0.0),
+            epoch_bumps=stats.get("mutation_epoch", 0),
+            shadow_fast_hits=stats.get("shadow_fast_hits", 0),
+            precede_calls_saved=stats.get("precede_calls_saved", 0),
         )
 
     def as_row(self) -> Dict[str, object]:
@@ -114,10 +120,18 @@ class MetricsCollector(ExecutionObserver):
         self.max_live_depth = 0
         # parent map for the ancestor test (tid -> parent tid)
         self._parent: Dict[int, Optional[int]] = {}
+        # memoized spawn-tree depth (tid -> depth; main is 0).  Computed
+        # incrementally — walking the whole parent chain per spawn made
+        # on_task_create O(depth), i.e. quadratic over a deep spawn chain
+        # (Sort's depth-999 recursion spent more time here than in the
+        # detector; see tests/integration/test_harness_metrics.py's
+        # walk-bound test at depth 10,000).
+        self._depth: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     def on_init(self, main) -> None:
         self._parent[main.tid] = None
+        self._depth[main.tid] = 0
 
     def on_task_create(self, parent, child) -> None:
         self.num_tasks += 1
@@ -126,14 +140,13 @@ class MetricsCollector(ExecutionObserver):
         else:
             self.num_async_tasks += 1
         self._parent[child.tid] = parent.tid
-        # Compute depth from our own parent map so replayed stand-in tasks
-        # (which carry no depth attribute) work too.
-        depth, node = 0, child.tid
-        while node is not None:
-            depth += 1
-            node = self._parent.get(node)
-        if depth - 1 > self.max_live_depth:
-            self.max_live_depth = depth - 1
+        # Depth comes from our own maps so replayed stand-in tasks (which
+        # carry no depth attribute) work too; the parent's depth is already
+        # memoized, so this is O(1) per spawn.
+        depth = self._depth.get(parent.tid, 0) + 1
+        self._depth[child.tid] = depth
+        if depth > self.max_live_depth:
+            self.max_live_depth = depth
 
     def on_get(self, consumer, producer) -> None:
         self.num_gets += 1
@@ -152,12 +165,19 @@ class MetricsCollector(ExecutionObserver):
 
     # ------------------------------------------------------------------ #
     def _is_ancestor(self, a: int, b: int) -> bool:
-        node = self._parent.get(b)
-        while node is not None:
-            if node == a:
-                return True
+        """Is ``a`` a spawn-tree ancestor of ``b``?
+
+        The memoized depths bound the walk: lift ``b`` exactly
+        ``depth(b) - depth(a)`` levels and compare — never the full chain.
+        """
+        da = self._depth.get(a)
+        db = self._depth.get(b)
+        if da is None or db is None or db <= da:
+            return False
+        node: Optional[int] = b
+        for _ in range(db - da):
             node = self._parent.get(node)
-        return False
+        return node == a
 
     def snapshot(self) -> Metrics:
         """Freeze the counters into a :class:`Metrics` value."""

@@ -4,14 +4,28 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Sequence
 
-__all__ = ["render_table", "render_kv"]
+__all__ = ["render_table", "render_kv", "render_metrics"]
 
 
 def render_table(rows: Sequence[Dict[str, Any]]) -> str:
-    """Render dict rows as an aligned ASCII table (first row sets columns)."""
+    """Render dict rows as an aligned ASCII table.
+
+    The columns are the *ordered union* of every row's keys: each new key
+    appears at the first row that introduces it, after the keys already
+    seen.  (Taking the columns from ``rows[0]`` alone silently dropped any
+    column absent from the first row — e.g. detector-perf columns when the
+    first benchmark ran with ``--no-detect`` — so rows are not truncated to
+    the first row's shape anymore.)  Missing cells render empty.
+    """
     if not rows:
         return "(no rows)"
-    columns = list(rows[0].keys())
+    columns: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
     widths = {c: len(c) for c in columns}
     rendered: List[List[str]] = []
     for row in rows:
@@ -53,3 +67,45 @@ def render_kv(title: str, values: Mapping[str, Any]) -> str:
             text = str(value)
         lines.append(f"{key.ljust(width)}  {text}")
     return "\n".join(lines)
+
+
+def render_metrics(metrics: Mapping[str, Any]) -> str:
+    """Render an :class:`repro.obs.MetricsRegistry` dump (``as_dict()``).
+
+    Counters become a key/value block; each histogram becomes one summary
+    row (count / mean / p50 / p99 / max); epoch-window hit-rate timelines
+    print their first and last windows.
+    """
+    blocks: List[str] = []
+    counters = metrics.get("counters") or {}
+    if counters:
+        blocks.append(render_kv("counters", dict(sorted(counters.items()))))
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            h = histograms[name]
+            rows.append(
+                {
+                    "histogram": name,
+                    "count": h.get("count", 0),
+                    "mean": round(h.get("mean", 0.0), 2),
+                    "p50": h.get("p50", 0),
+                    "p99": h.get("p99", 0),
+                    "max": h.get("max", 0),
+                }
+            )
+        blocks.append(render_table(rows))
+    windows = metrics.get("epoch_windows") or {}
+    for name in sorted(windows):
+        series = windows[name].get("windows") or []
+        if not series:
+            continue
+        first, last = series[0], series[-1]
+        blocks.append(
+            f"{name}: window={windows[name].get('window')} "
+            f"first[@{first['epoch_start']}]={first['rate']:.2f} "
+            f"last[@{last['epoch_start']}]={last['rate']:.2f} "
+            f"({len(series)} windows)"
+        )
+    return "\n\n".join(blocks) if blocks else "(no metrics)"

@@ -146,6 +146,7 @@ def run_benchmark(
     *,
     repeats: int = 1,
     verify: bool = True,
+    obs=None,
 ) -> BenchmarkResult:
     """Run one Table 2 row in all three configurations.
 
@@ -153,6 +154,12 @@ def run_benchmark(
     the mean of 10 in-JVM runs to dodge JIT warmup; CPython has no warmup,
     so min-of-N suffices and is the conventional choice for interpreted
     code).
+
+    ``obs`` (an :class:`repro.obs.Observability`) instruments the *Racedet*
+    configuration only — the Seq and Instrumented bars stay untouched so
+    the reported slowdowns keep their meaning.  The structural Table-2
+    columns are identical with and without it (pinned by
+    ``tests/integration/test_obs_integration.py``).
     """
     bench = BENCHMARKS.get(name) or EXTENDED_BENCHMARKS[name]
     params = bench.params(scale)
@@ -180,7 +187,7 @@ def run_benchmark(
     perf = DetectorPerf()
     for _ in range(repeats):
         run = run_instrumented(
-            lambda rt: bench.parallel(rt, params), detect=True
+            lambda rt: bench.parallel(rt, params), detect=True, obs=obs
         )
         det_best = min(det_best, run.wall_seconds)
         avg_readers = run.avg_readers

@@ -5,6 +5,7 @@ Usage::
 
     python -m repro.harness.table2 [--scale tiny|small|table2]
                                    [--repeats N] [--bench NAME ...]
+                                   [--metrics-json FILE] [--perfetto FILE]
 
 Prints the measured table followed by the paper's values and the
 qualitative checks DESIGN.md promises (NT-join zeros, the future-variant
@@ -127,7 +128,21 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--extended", action="store_true",
                         help="also run the extension rows (SOR, NQueens, "
                              "LUFact, ReduceTree)")
+    parser.add_argument("--metrics-json", metavar="FILE", dest="metrics_json",
+                        help="dump the observability registry (PRECEDE "
+                             "latency/frontier histograms, cache timeline) "
+                             "accumulated over the Racedet runs")
+    parser.add_argument("--perfetto", metavar="FILE",
+                        help="write a Chrome trace of the Racedet runs")
     args = parser.parse_args(argv)
+
+    obs = None
+    if args.metrics_json or args.perfetto:
+        from repro.obs import Observability, RingTracer
+
+        obs = Observability(
+            tracer=RingTracer() if args.perfetto else None
+        )
 
     known = dict(BENCHMARKS)
     known.update(EXTENDED_BENCHMARKS)
@@ -143,7 +158,8 @@ def main(argv: List[str] | None = None) -> int:
     for name in names:
         print(f"running {name} (scale={args.scale}) ...", file=sys.stderr)
         results[name] = run_benchmark(
-            name, args.scale, repeats=args.repeats, verify=not args.no_verify
+            name, args.scale, repeats=args.repeats,
+            verify=not args.no_verify, obs=obs,
         )
 
     print(f"\nTable 2 reproduction (scale={args.scale}, Python "
@@ -154,6 +170,17 @@ def main(argv: List[str] | None = None) -> int:
     print("\nQualitative checks:")
     for line in qualitative_checks(results):
         print(" ", line)
+    if obs is not None:
+        from repro.harness.report import render_metrics
+
+        print("\nObservability (Racedet runs):\n")
+        print(render_metrics(obs.registry.as_dict()))
+        if args.metrics_json:
+            obs.write_metrics(args.metrics_json)
+            print(f"\nmetrics written to {args.metrics_json}")
+        if args.perfetto:
+            obs.write_trace(args.perfetto)
+            print(f"perfetto trace written to {args.perfetto}")
     return 0
 
 

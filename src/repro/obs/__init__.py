@@ -1,0 +1,57 @@
+"""Runtime observability: structured tracing + performance metrics.
+
+The paper's evaluation is built on structural counters (Table 2); the perf
+layer (PRECEDE cache, shadow fast paths) needs *distributional* visibility
+— where time goes inside a run, which queries pay the backward ``_explore``
+search, how reader-set populations evolve per location.  This package
+provides that, following the per-operation cost-breakdown methodology of
+Utterback et al. (*Efficient Race Detection with Futures*) and Westrick et
+al. (*DePa*):
+
+* :mod:`repro.obs.trace` — a low-overhead span/event tracer
+  (:class:`RingTracer`) recording task spawn/terminate, finish enter/exit,
+  ``get()`` joins, shadow-memory checks, DTRG mutations and PRECEDE queries
+  into a bounded ring buffer, exportable as Chrome trace-event JSON
+  loadable in Perfetto / ``chrome://tracing``;
+* :mod:`repro.obs.metrics` — a registry of counters and fixed-bucket
+  histograms (PRECEDE latency, ``_explore`` frontier size, per-cell reader
+  population, cache hit rate per mutation-epoch window) dumpable as JSON
+  and renderable by :func:`repro.harness.report.render_metrics`;
+* :mod:`repro.obs.hooks` — :class:`Observability`, the bundle the hook
+  points in ``core/reachability.py``, ``core/shadow.py``,
+  ``core/detector.py``, ``runtime/runtime.py`` and
+  ``runtime/workstealing.py`` call into, plus the
+  :data:`NULL_OBSERVABILITY` null object.  Hook points are *detached by
+  default*: a component without an attached (enabled) observability object
+  runs the exact pre-observability code path — the disabled cost is
+  asserted by ``benchmarks/bench_obs_overhead.py``;
+* :mod:`repro.obs.validate` — a trace-event schema checker
+  (``python -m repro.obs.validate trace.json``), used by tests and CI.
+
+Capture a trace from the CLI::
+
+    repro-racecheck prog.py --perfetto out.json --metrics-json metrics.json
+
+then open ``out.json`` at https://ui.perfetto.dev (or ``chrome://tracing``).
+"""
+
+from repro.obs.hooks import NULL_OBSERVABILITY, Observability
+from repro.obs.metrics import (
+    Counter,
+    EpochWindowRatio,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import RingTracer
+from repro.obs.validate import validate_chrome_trace
+
+__all__ = [
+    "Observability",
+    "NULL_OBSERVABILITY",
+    "Counter",
+    "Histogram",
+    "EpochWindowRatio",
+    "MetricsRegistry",
+    "RingTracer",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,101 @@
+"""Chrome trace-event schema validation.
+
+The trace-event format has no official JSON Schema; this module encodes the
+subset the :class:`~repro.obs.trace.RingTracer` emits (and Perfetto
+requires): a ``traceEvents`` array of objects whose phases are ``X``
+(complete, with a non-negative ``dur``), ``i`` (instant, with scope in
+``t``/``p``/``g``) or ``M`` (metadata), each carrying string ``name``/
+``cat`` (metadata excepted for ``cat``), numeric ``ts`` and integer
+``pid``/``tid``.
+
+Usable as a CLI — the CI trace artifact is checked with::
+
+    python -m repro.obs.validate trace.json
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, List
+
+__all__ = ["validate_chrome_trace", "main"]
+
+_PHASES = {"X", "i", "M"}
+_INSTANT_SCOPES = {"t", "p", "g"}
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Return a list of schema problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing integer 'pid'")
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"{where}: missing integer 'tid'")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            problems.append(f"{where}: missing numeric 'ts'")
+        if not isinstance(event.get("cat"), str):
+            problems.append(f"{where}: missing string 'cat'")
+        if ph == "X":
+            dur = event.get("dur")
+            if (not isinstance(dur, (int, float))
+                    or isinstance(dur, bool) or dur < 0):
+                problems.append(f"{where}: 'X' needs non-negative 'dur'")
+        elif ph == "i":
+            if event.get("s", "t") not in _INSTANT_SCOPES:
+                problems.append(f"{where}: bad instant scope {event.get('s')!r}")
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    import json
+
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {argv[0]}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(data)
+    if problems:
+        for problem in problems[:50]:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if len(problems) > 50:
+            print(f"... and {len(problems) - 50} more", file=sys.stderr)
+        return 1
+    events = data["traceEvents"]
+    phases = {}
+    for event in events:
+        phases[event["ph"]] = phases.get(event["ph"], 0) + 1
+    summary = ", ".join(f"{n} {ph!r}" for ph, n in sorted(phases.items()))
+    print(f"{argv[0]}: valid Chrome trace ({len(events)} events: {summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,10 +65,23 @@ class Runtime:
     observers:
         Instrumentation consumers, invoked in registration order at every
         boundary.  The list is fixed once :meth:`run` starts.
+    obs:
+        Optional :class:`repro.obs.Observability` sink: task lifetimes and
+        finish scopes become Perfetto duration spans, ``get()`` joins
+        become instants.  ``None`` (default) or a disabled object adds no
+        work anywhere.
     """
 
-    def __init__(self, observers: Iterable[ExecutionObserver] = ()) -> None:
+    def __init__(
+        self,
+        observers: Iterable[ExecutionObserver] = (),
+        *,
+        obs=None,
+    ) -> None:
         self._observers: List[ExecutionObserver] = list(observers)
+        self._obs = (
+            obs if obs is not None and getattr(obs, "enabled", False) else None
+        )
         self._running = False
         # Execution state (valid only while running).
         self.main_task: Optional[Task] = None
@@ -121,11 +134,16 @@ class Runtime:
         self.current_task = main
         for ob in self._observers:
             ob.on_init(main)
+        obs = self._obs
+        if obs is not None:
+            obs.task_begin(main.tid, main.name, False)
 
         root = FinishScope(self._alloc_fid(), owner=main, enclosing=None)
         self._finish_stack.append(root)
         for ob in self._observers:
             ob.on_finish_start(root)
+        if obs is not None:
+            obs.finish_begin(root.fid, main.tid)
         try:
             result = program(self)
         finally:
@@ -138,6 +156,9 @@ class Runtime:
         for ob in self._observers:
             ob.on_task_end(main)
             ob.on_shutdown(main)
+        if obs is not None:
+            obs.finish_end(root.fid)
+            obs.task_end(main.tid)
         self.current_task = None
         return result
 
@@ -185,6 +206,9 @@ class Runtime:
         # raising UnsupportedConstructError) must leave the stack intact.
         for ob in self._observers:
             ob.on_finish_start(scope)
+        obs = self._obs
+        if obs is not None:
+            obs.finish_begin(scope.fid, current.tid)
         self._finish_stack.append(scope)
         try:
             yield scope
@@ -207,6 +231,8 @@ class Runtime:
             )
         for ob in self._observers:
             ob.on_finish_end(scope)
+        if obs is not None:
+            obs.finish_end(scope.fid)
 
     def forall(
         self,
@@ -275,6 +301,9 @@ class Runtime:
         ief.register(child)
         for ob in self._observers:
             ob.on_task_create(parent, child)
+        obs = self._obs
+        if obs is not None:
+            obs.task_begin(child.tid, child.name, child.is_future)
         # Depth-first: run the child to completion right now.
         self.current_task = child
         try:
@@ -287,6 +316,8 @@ class Runtime:
         child.completed = True
         for ob in self._observers:
             ob.on_task_end(child)
+        if obs is not None:
+            obs.task_end(child.tid)
         return child
 
     def _on_get(self, handle: FutureHandle) -> Any:
@@ -299,6 +330,9 @@ class Runtime:
             )
         for ob in self._observers:
             ob.on_get(consumer, producer)
+        obs = self._obs
+        if obs is not None:
+            obs.on_get(consumer.tid, producer.tid)
         return producer.value
 
     def _require_current(self) -> Task:

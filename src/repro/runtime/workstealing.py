@@ -155,6 +155,12 @@ class WorkStealingSimulator:
     that time unit — a stolen step starts executing on the next cycle, and
     a failed attempt leaves the worker idle for the cycle.  With a single
     worker there is no victim to probe, so no attempt is counted.
+
+    When an :class:`repro.obs.Observability` sink is passed, every executed
+    step becomes a duration span on its worker's track and every steal
+    attempt an instant, all stamped with the *virtual* cycle clock (one
+    simulated cycle = 1us in the trace) so Perfetto renders the simulated
+    schedule itself.
     """
 
     def __init__(
@@ -164,6 +170,7 @@ class WorkStealingSimulator:
         *,
         seed: int = 0,
         unit_weights: bool = False,
+        obs=None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -171,6 +178,9 @@ class WorkStealingSimulator:
         self.workers = workers
         self.rng = random.Random(seed)
         self.weights = step_weights(graph, unit_weights)
+        self._obs = (
+            obs if obs is not None and getattr(obs, "enabled", False) else None
+        )
 
     def run(self) -> ScheduleStats:
         graph, workers = self.graph, self.workers
@@ -189,6 +199,7 @@ class WorkStealingSimulator:
         steals = 0
         failed = 0
         rng = self.rng
+        obs = self._obs
         while done < n:
             # 1. assign work; steal attempts burn the coming time unit.
             stealing = [False] * workers
@@ -204,6 +215,7 @@ class WorkStealingSimulator:
                         victim = rng.randrange(workers - 1)
                         if victim >= w:
                             victim += 1
+                        depth = len(deques[victim])
                         if deques[victim]:
                             step = deques[victim].pop(0)  # steal oldest
                             current[w] = step
@@ -212,6 +224,11 @@ class WorkStealingSimulator:
                             steals += 1
                         else:
                             failed += 1
+                        if obs is not None:
+                            obs.ws_steal(
+                                w, victim, time,
+                                hit=stealing[w], victim_depth=depth,
+                            )
             # 2. advance one time unit
             time += 1
             for w in range(workers):
@@ -223,6 +240,11 @@ class WorkStealingSimulator:
                 if left[w] == 0:
                     current[w] = None
                     done += 1
+                    if obs is not None:
+                        obs.ws_step(
+                            w, step, time - self.weights[step],
+                            self.weights[step],
+                        )
                     for succ in graph.successors[step]:
                         indeg[succ] -= 1
                         if indeg[succ] == 0:

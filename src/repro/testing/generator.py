@@ -137,7 +137,11 @@ def count_stmts(body: Sequence[Stmt]) -> int:
 # Execution                                                              #
 # ---------------------------------------------------------------------- #
 def run_program(
-    program: Program, observers: Sequence = (), *, scoped_handles: bool = True
+    program: Program,
+    observers: Sequence = (),
+    *,
+    scoped_handles: bool = True,
+    obs=None,
 ) -> Runtime:
     """Execute ``program`` depth-first on a fresh runtime.
 
@@ -160,7 +164,7 @@ def run_program(
       flow.  Such executions are outside the model's guarantee; they are
       used for robustness (no-crash, no-exception) stress tests only.
     """
-    rt = Runtime(observers=list(observers))
+    rt = Runtime(observers=list(observers), obs=obs)
     mem = SharedArray(rt, "x", program.num_locs)
     registry: List = []  # wild mode: all handles in creation order
 

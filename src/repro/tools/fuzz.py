@@ -10,15 +10,19 @@ and diffing every implementation against the brute-force oracle:
     repro-fuzz --seeds 0:500                 # fuzz seed range
     repro-fuzz --seeds 0:500 --mode wild     # robustness only
     repro-fuzz --replay-corpus tests/corpus  # replay checked-in repros
+    repro-fuzz --seeds 0:50 --perfetto t.json --metrics-json m.json
 
 Per seed, :func:`~repro.testing.generator.random_program` yields a program
 which is checked in up to two modes:
 
 * **scoped** (the language's reference-flow discipline): every general
-  detector (dtrg, exact, vector-clock) must report exactly the oracle's
-  racy locations; every restricted detector (spd3, espbags, spbags,
-  offset-span) must either refuse with ``UnsupportedConstructError`` or
-  agree; and each completed run must round-trip through
+  detector (dtrg, exact, vector-clock) *and* every DTRG ablation
+  (``dtrg[no-lsa]``, ``dtrg[no-memo]``, ``dtrg[no-intervals]`` — the same
+  graph with an optimization switched off, which must never change a
+  verdict) must report exactly the oracle's racy locations; every
+  restricted detector (spd3, espbags, spbags, offset-span) must either
+  refuse with ``UnsupportedConstructError`` or agree; and each completed
+  run must round-trip through
   :class:`~repro.memory.tracer.TraceRecorder`/:func:`replay_trace` with an
   identical verdict (record-replay parity).
 * **wild** (out-of-band handle registry, outside the model's guarantee):
@@ -78,8 +82,31 @@ ORACLE = "brute-force"
 GENERAL = ("dtrg", "exact", "vector-clock")
 #: Detectors that must refuse-or-agree (restricted models).
 RESTRICTED = ("spd3", "espbags", "spbags", "offset-span")
+#: DTRG ablations (optimizations off).  Theorem 2 makes no reference to
+#: the LSA chain, VISIT memoization or interval labels — they are pure
+#: accelerations, so every ablation must agree with the oracle on every
+#: scoped program (and with the full dtrg via transitivity).  Fuzzed here
+#: and by the corpus replay gate so an optimization bug that changes a
+#: verdict cannot hide behind the default configuration.
+ABLATIONS = {
+    "dtrg[no-lsa]": dict(use_lsa=False),
+    "dtrg[no-memo]": dict(memoize_visit=False),
+    "dtrg[no-intervals]": dict(use_intervals=False),
+}
 #: Detectors exercised in wild mode (no refusal semantics there).
 WILD = (ORACLE,) + GENERAL
+
+
+def _make_detector(name: str, obs=None):
+    """Instantiate a detector by registry name or ablation name."""
+    options = ABLATIONS.get(name)
+    if options is not None:
+        from repro.core.detector import DeterminacyRaceDetector
+
+        return DeterminacyRaceDetector(obs=obs, **options)
+    if name == "dtrg" and obs is not None:
+        return DETECTORS[name](obs=obs)
+    return DETECTORS[name]()
 
 
 @dataclass
@@ -120,7 +147,7 @@ class FuzzStats:
         row[key] += amount
 
     def detector_rows(self) -> List[Dict[str, object]]:
-        order = (ORACLE,) + GENERAL + RESTRICTED
+        order = (ORACLE,) + GENERAL + RESTRICTED + tuple(ABLATIONS)
         rows = []
         for name in order:
             row = self.per_detector.get(name)
@@ -143,14 +170,21 @@ def _verdict(det) -> Set[Tuple[str, int]]:
     return set(det.racy_locations)
 
 
-def _run_live(name: str, program: Program, *, scoped: bool, record=False):
-    """One fresh execution with one detector; returns (detector, trace)."""
-    det = DETECTORS[name]()
+def _run_live(
+    name: str, program: Program, *, scoped: bool, record=False, obs=None
+):
+    """One fresh execution with one detector; returns (detector, trace).
+
+    ``name`` may be a registry detector or an :data:`ABLATIONS` key; an
+    enabled ``obs`` instruments both the detector (dtrg variants only)
+    and the runtime's task/finish spans.
+    """
+    det = _make_detector(name, obs=obs)
     observers: List = [det]
     recorder = TraceRecorder() if record else None
     if recorder is not None:
         observers.append(recorder)
-    run_program(program, observers, scoped_handles=scoped)
+    run_program(program, observers, scoped_handles=scoped, obs=obs)
     return det, (recorder.trace if recorder is not None else None)
 
 
@@ -211,8 +245,14 @@ def check_seed(
     *,
     modes: Sequence[str] = ("scoped", "wild"),
     stats: Optional[FuzzStats] = None,
+    obs=None,
 ) -> List[FuzzFailure]:
-    """Differentially check one program; returns un-shrunk failures."""
+    """Differentially check one program; returns un-shrunk failures.
+
+    ``obs`` (an :class:`repro.obs.Observability`) instruments the scoped
+    ``dtrg`` run only — one detector's trace per seed keeps the event
+    stream readable, and verdict comparisons are obs-independent.
+    """
     stats = stats if stats is not None else FuzzStats()
     failures: List[FuzzFailure] = []
 
@@ -240,9 +280,12 @@ def check_seed(
                  f"live {sorted(want, key=repr)} vs replay "
                  f"{sorted(_verdict(replayed_oracle), key=repr)}")
 
-        for name in GENERAL + RESTRICTED:
+        for name in GENERAL + RESTRICTED + tuple(ABLATIONS):
             try:
-                det, _ = _run_live(name, program, scoped=True)
+                det, _ = _run_live(
+                    name, program, scoped=True,
+                    obs=obs if name == "dtrg" else None,
+                )
             except UnsupportedConstructError:
                 stats.tally(name, "runs")
                 stats.tally(name, "refusals")
@@ -266,7 +309,7 @@ def check_seed(
                      f"{name} {sorted(got, key=repr)} vs oracle "
                      f"{sorted(want, key=repr)}")
             # Record-replay parity for this detector.
-            replayed = DETECTORS[name]()
+            replayed = _make_detector(name)
             try:
                 replay_trace(trace, [replayed])
             except UnsupportedConstructError:
@@ -301,7 +344,7 @@ def check_seed(
             stats.events += len(wild_trace)
             # Replay parity holds in wild mode too: the recorded stream is
             # just events, and replay must reproduce the live verdict.
-            replayed = DETECTORS[name]()
+            replayed = _make_detector(name)
             try:
                 replay_trace(wild_trace, [replayed])
             except Exception as exc:
@@ -360,6 +403,7 @@ def fuzz_range(
     fail_fast: bool = False,
     verbose: bool = False,
     out=None,
+    obs=None,
 ) -> Tuple[FuzzStats, List[FuzzFailure]]:
     """Fuzz ``seeds``; returns stats and signature-deduplicated failures."""
     generator_kwargs = generator_kwargs or {}
@@ -371,7 +415,7 @@ def fuzz_range(
         stats.programs += 1
         stats.statements += count_stmts(program.body)
         for failure in check_seed(
-            seed, program, modes=modes, stats=stats
+            seed, program, modes=modes, stats=stats, obs=obs
         ):
             if verbose or failure.signature not in unique:
                 print(f"[seed {failure.seed}] {failure.signature}: "
@@ -414,7 +458,7 @@ def replay_corpus(corpus_dir: Path, out=None) -> int:
             problems.append(
                 f"oracle {sorted(_verdict(oracle), key=repr)} != declared "
                 f"{sorted(want, key=repr)}")
-        for name in GENERAL + RESTRICTED:
+        for name in GENERAL + RESTRICTED + tuple(ABLATIONS):
             try:
                 det, _ = _run_live(name, entry.program, scoped=True)
             except UnsupportedConstructError:
@@ -423,7 +467,7 @@ def replay_corpus(corpus_dir: Path, out=None) -> int:
                 problems.append(
                     f"{name} {sorted(_verdict(det), key=repr)} != "
                     f"{sorted(want, key=repr)}")
-            replayed = DETECTORS[name]()
+            replayed = _make_detector(name)
             replay_trace(trace, [replayed])
             if _verdict(replayed) != _verdict(det):
                 problems.append(f"{name} replay parity broken")
@@ -503,7 +547,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write minimized repros as corpus JSON entries")
     parser.add_argument("--replay-corpus", metavar="DIR",
                         help="replay a regression corpus instead of fuzzing")
+    parser.add_argument("--perfetto", metavar="FILE",
+                        help="write a Chrome trace of the scoped dtrg runs")
+    parser.add_argument("--metrics-json", metavar="FILE", dest="metrics_json",
+                        help="write the observability registry as JSON")
     args = parser.parse_args(argv)
+
+    obs = None
+    if args.perfetto or args.metrics_json:
+        from repro.obs import Observability, RingTracer
+
+        obs = Observability(
+            tracer=RingTracer() if args.perfetto else None
+        )
+
+    def write_obs_artifacts() -> None:
+        if obs is None:
+            return
+        if args.perfetto:
+            obs.write_trace(args.perfetto)
+            print(f"perfetto trace written to {args.perfetto}")
+        if args.metrics_json:
+            obs.write_metrics(args.metrics_json)
+            print(f"metrics written to {args.metrics_json}")
 
     if args.replay_corpus:
         bad = replay_corpus(Path(args.replay_corpus))
@@ -525,11 +591,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         shrink_budget=args.shrink_budget,
         fail_fast=args.fail_fast,
         verbose=args.verbose,
+        obs=obs,
     )
 
     print(render_table(stats.detector_rows()))
     print()
     print(render_kv("fuzz run summary", stats.summary()))
+    write_obs_artifacts()
 
     if failures:
         print(f"\n{len(failures)} unique failure signature"

@@ -8,6 +8,18 @@ with the instrumented runtime:
                                   [--policy collect|raise]
                                   [--dot graph.dot] [--trace out.trace]
                                   [--metrics] [--witness]
+                                  [--perfetto out.json]
+                                  [--metrics-json out-metrics.json]
+
+``--perfetto`` records the run through :mod:`repro.obs` and writes a
+Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``:
+task lifetimes and finish scopes as duration spans, ``get()`` joins,
+DTRG mutations, PRECEDE queries (with cache outcome and visited-set
+size) and shadow checks as instant events.  ``--metrics-json`` dumps the
+companion counter/histogram registry (PRECEDE latency, ``_explore``
+frontier sizes, per-cell reader populations, cache hit rate per
+mutation-epoch window).  Either flag enables the instrumentation; the
+detailed DTRG/shadow hooks require ``--detector dtrg``.
 
 ``my_program.py`` must define ``def program(rt):`` (and may define
 ``def setup(rt):`` returning shared state passed as the second argument).
@@ -80,6 +92,12 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--witness", action="store_true",
                         help="print two schedules whose outcomes differ "
                              "for each racy location")
+    parser.add_argument("--perfetto", metavar="FILE",
+                        help="write a Chrome trace-event JSON "
+                             "(Perfetto/chrome://tracing)")
+    parser.add_argument("--metrics-json", metavar="FILE", dest="metrics_json",
+                        help="write the observability counter/histogram "
+                             "registry as JSON")
     args = parser.parse_args(argv)
 
     try:
@@ -94,7 +112,17 @@ def main(argv: List[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    detector = DETECTORS[args.detector](policy=args.policy)
+    obs = None
+    if args.perfetto or args.metrics_json:
+        from repro.obs import Observability, RingTracer
+
+        obs = Observability(
+            tracer=RingTracer() if args.perfetto else None
+        )
+    if obs is not None and args.detector == "dtrg":
+        detector = DETECTORS[args.detector](policy=args.policy, obs=obs)
+    else:
+        detector = DETECTORS[args.detector](policy=args.policy)
     observers: List = [detector]
     graph_builder = None
     if args.dot or args.witness:
@@ -125,8 +153,14 @@ def main(argv: List[str] | None = None) -> int:
             recorder.trace.save(args.trace)
             print(f"trace ({len(recorder.trace)} events) "
                   f"written to {args.trace}")
+        if args.perfetto and obs is not None:
+            obs.write_trace(args.perfetto)
+            print(f"perfetto trace written to {args.perfetto}")
+        if args.metrics_json and obs is not None:
+            obs.write_metrics(args.metrics_json)
+            print(f"metrics written to {args.metrics_json}")
 
-    rt = Runtime(observers=observers)
+    rt = Runtime(observers=observers, obs=obs)
     setup = namespace.get("setup")
     try:
         if callable(setup):

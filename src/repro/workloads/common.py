@@ -62,6 +62,7 @@ def run_instrumented(
     detect: bool,
     extra_observers: Sequence = (),
     detector_options: Optional[Dict[str, Any]] = None,
+    obs=None,
 ) -> WorkloadRun:
     """Run a workload entry point, with or without the race detector.
 
@@ -69,16 +70,21 @@ def run_instrumented(
     metrics counters); ``detect=True`` adds the full detector — the paper's
     ``Racedet`` configuration.  ``detector_options`` are forwarded to
     :class:`DeterminacyRaceDetector` (ablation switches, ``cache_precede``).
+    ``obs`` is an optional :class:`repro.obs.Observability` sink threaded
+    into both the runtime (task/finish spans) and the detector (PRECEDE /
+    shadow instrumentation); ``None`` costs nothing.
     """
     metrics = MetricsCollector()
     detector = (
-        DeterminacyRaceDetector(**(detector_options or {})) if detect else None
+        DeterminacyRaceDetector(obs=obs, **(detector_options or {}))
+        if detect
+        else None
     )
     observers: List = [metrics]
     if detector is not None:
         observers.append(detector)
     observers.extend(extra_observers)
-    rt = Runtime(observers=observers)
+    rt = Runtime(observers=observers, obs=obs)
     start = time.perf_counter()
     result = rt.run(entry)
     wall = time.perf_counter() - start

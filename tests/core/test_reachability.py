@@ -143,8 +143,17 @@ def test_statistics_counters():
     g.add_root("main")
     g.add_task("main", "A", is_future=True, name="A")
     g.on_terminate("A")
+    # Pruned at level 0 (A postdates everything in main's set), so the
+    # expansion counter does not move: num_visits counts VISIT
+    # *expansions* only, never level-0 resolutions.
     g.precede("A", "main")
     assert g.num_precede_queries == 1
+    assert g.num_visits == 0
+    # A query that must actually search backwards expands at least B's set.
+    g.add_task("main", "B", is_future=True, name="B")
+    g.record_join("B", "A")  # non-tree edge A -> B's set
+    g.precede("A", "B")
+    assert g.num_precede_queries == 2
     assert g.num_visits >= 1
 
 

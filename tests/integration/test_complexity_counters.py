@@ -4,7 +4,7 @@ Wall-clock benchmarks live in ``benchmarks/``; these tests pin the
 *counted* behaviour, which is deterministic:
 
 * structured (async-finish) programs never leave the PRECEDE fast path —
-  one VISIT per query, zero non-tree edges, one merge per task;
+  zero VISIT expansions, zero non-tree edges, one merge per task;
 * the number of PRECEDE queries per access is bounded by the stored
   readers + writer (Algorithms 8-9);
 * with memoization, VISIT expansions per query are bounded by the number
@@ -29,8 +29,10 @@ def test_structured_program_stays_on_fast_path():
     assert dtrg.num_non_tree_edges == 0
     # every task merges exactly once (at its IEF's end)
     assert dtrg.num_tree_merges == metrics.num_tasks
-    # fast path: precede() answers at level 0 — one visit per query
-    assert dtrg.num_visits == dtrg.num_precede_queries
+    # fast path: precede() answers at level 0 — num_visits counts VISIT
+    # *expansions* only (see DynamicTaskReachabilityGraph.__init__), so a
+    # structured program performs zero backward-search work.
+    assert dtrg.num_visits == 0
 
 
 def test_crypt_af_query_count_tracks_accesses():

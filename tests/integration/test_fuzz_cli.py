@@ -89,9 +89,13 @@ def test_bad_seed_range_is_a_usage_error(bad):
 def test_planted_soundness_bug_is_flagged_and_minimized(monkeypatch, tmp_path):
     plant_future_covered_bug(monkeypatch)
     failures = fuzz.check_seed(0, FUTURE_COVERED_REPRO, modes=("scoped",))
-    assert [f.signature for f in failures] == ["scoped:divergence:dtrg:missing"]
+    sigs = [f.signature for f in failures]
+    assert "scoped:divergence:dtrg:missing" in sigs
+    # The ablated configs share the detector frontend, so the planted
+    # frontend bug is flagged for each of them as well.
+    assert "scoped:divergence:dtrg[no-lsa]:missing" in sigs
 
-    failure = failures[0]
+    failure = next(f for f in failures if f.detector == "dtrg")
     fuzz._shrink_failure(failure, budget=600)
     assert failure.minimized is not None
     assert count_stmts(failure.minimized.body) <= count_stmts(
@@ -167,3 +171,87 @@ def test_fuzz_range_dedupes_signatures(monkeypatch):
     crash_sigs = [f.signature for f in failures if f.detector == "exact"]
     assert len(crash_sigs) == len(set(crash_sigs))  # deduplicated
     assert stats.failures >= len(crash_sigs)  # raw count keeps every hit
+
+
+# ---------------------------------------------------------------------- #
+# Optimization-flag ablations are cross-checked like any other detector  #
+# ---------------------------------------------------------------------- #
+def test_ablation_rows_in_scoped_summary(capsys):
+    assert fuzz.main(["--seeds", "0:4", "--mode", "scoped"]) == 0
+    out = capsys.readouterr().out
+    for name in fuzz.ABLATIONS:
+        assert name in out
+
+
+def test_make_detector_applies_ablation_options():
+    assert fuzz._make_detector("dtrg[no-lsa]").dtrg.use_lsa is False
+    assert fuzz._make_detector("dtrg[no-memo]").dtrg.memoize_visit is False
+    assert (fuzz._make_detector("dtrg[no-intervals]").dtrg.use_intervals
+            is False)
+    # Full-featured config untouched by the ablation table.
+    full = fuzz._make_detector("dtrg")
+    assert full.dtrg.use_lsa and full.dtrg.memoize_visit \
+        and full.dtrg.use_intervals
+
+
+def test_planted_lsa_ablation_bug_is_flagged(monkeypatch):
+    """Break the backward search *only when use_lsa=False*: the stock dtrg
+    stays green, so only the ablation sweep can catch the regression."""
+    from repro.core.reachability import DynamicTaskReachabilityGraph
+
+    orig = DynamicTaskReachabilityGraph._explore
+
+    def broken_explore(self, *a, **kw):
+        if not self.use_lsa:
+            return False  # never finds a backward path
+        return orig(self, *a, **kw)
+
+    monkeypatch.setattr(
+        DynamicTaskReachabilityGraph, "_explore", broken_explore
+    )
+    # Sibling future join: the write is ordered before the read *only*
+    # through the non-tree get edge, which the broken search can't find.
+    program = Program(
+        body=(Future((Write(0),)), Async((Get(0.0), Read(0)))),
+        num_locs=1,
+    )
+    failures = fuzz.check_seed(0, program, modes=("scoped",))
+    sigs = {f.signature for f in failures}
+    assert "scoped:divergence:dtrg[no-lsa]:extra" in sigs
+    # The full-featured config must NOT diverge from the oracle.
+    assert not any(
+        f.detector == "dtrg" and f.kind == "divergence" for f in failures
+    )
+
+
+def test_corpus_gate_covers_ablations(monkeypatch, capsys):
+    """The checked-in corpus replays through the ablated configs too."""
+    from repro.core.reachability import DynamicTaskReachabilityGraph
+
+    orig = DynamicTaskReachabilityGraph._explore
+
+    def broken_explore(self, *a, **kw):
+        if not self.use_lsa:
+            return False
+        return orig(self, *a, **kw)
+
+    monkeypatch.setattr(
+        DynamicTaskReachabilityGraph, "_explore", broken_explore
+    )
+    assert fuzz.main(["--replay-corpus", str(CORPUS_DIR)]) == 1
+    assert "dtrg[no-lsa]" in capsys.readouterr().out
+
+
+def test_fuzz_obs_artifacts(tmp_path, capsys):
+    from repro.obs.validate import validate_chrome_trace
+
+    trace = tmp_path / "fuzz-trace.json"
+    metrics = tmp_path / "fuzz-metrics.json"
+    assert fuzz.main([
+        "--seeds", "0:3", "--mode", "scoped",
+        "--perfetto", str(trace), "--metrics-json", str(metrics),
+    ]) == 0
+    data = json.loads(trace.read_text())
+    assert validate_chrome_trace(data) == []
+    stats = json.loads(metrics.read_text())
+    assert stats["counters"]["tasks_spawned"] > 0

@@ -2,8 +2,9 @@
 corners not covered elsewhere."""
 
 from repro import Runtime, SharedArray
-from repro.harness.metrics import Metrics, MetricsCollector
-from repro.harness.report import render_table
+from repro.core.detector import DeterminacyRaceDetector
+from repro.harness.metrics import DetectorPerf, Metrics, MetricsCollector
+from repro.harness.report import render_metrics, render_table
 
 
 def collect(builder):
@@ -67,3 +68,129 @@ def test_render_table_empty_and_mixed_types():
     assert lines[0].startswith("name")
     assert "1.50" in table
     assert len({len(line) for line in lines}) == 1
+
+
+def test_render_table_union_of_heterogeneous_rows():
+    """Columns are the ordered union across *all* rows — taking them from
+    rows[0] alone silently dropped every column the first row lacked
+    (e.g. detector-perf columns when the first row ran without a
+    detector)."""
+    rows = [
+        {"Benchmark": "a", "#Tasks": 1},
+        {"Benchmark": "b", "#Tasks": 2, "CacheHit%": 93.3},
+        {"Benchmark": "c", "races": 1},
+    ]
+    table = render_table(rows)
+    header = table.splitlines()[0]
+    assert header.split("|")[0].strip() == "Benchmark"
+    assert "CacheHit%" in header
+    assert "races" in header
+    # First-seen order: rows[0]'s keys first, then each new key in turn.
+    assert header.index("#Tasks") < header.index("CacheHit%") < \
+        header.index("races")
+    assert "93.30" in table
+    # Missing cells render empty, and every line stays aligned.
+    assert len({len(line) for line in table.splitlines()}) == 1
+
+
+def test_metrics_collector_depth_is_memoized_not_quadratic():
+    """on_task_create must not re-walk the whole parent chain per spawn: a
+    depth-N spawn chain used to cost O(N^2) parent-map lookups.  Drive the
+    collector directly (the serial runtime would exhaust the recursion
+    limit long before 10k) with a counting parent map."""
+
+    class Stub:
+        def __init__(self, tid, is_future=False):
+            self.tid = tid
+            self.is_future = is_future
+
+    class CountingDict(dict):
+        gets = 0
+
+        def get(self, *a):
+            CountingDict.gets += 1
+            return dict.get(self, *a)
+
+    metrics = MetricsCollector()
+    metrics._parent = CountingDict(metrics._parent)
+    metrics._depth = CountingDict(metrics._depth)
+    CountingDict.gets = 0
+
+    n = 10_000
+    main = Stub(0)
+    metrics.on_init(main)
+    prev = main
+    for tid in range(1, n + 1):
+        child = Stub(tid)
+        metrics.on_task_create(prev, child)
+        prev = child
+    assert metrics.max_live_depth == n
+    # One depth lookup per spawn (plus change), never O(depth) walks.
+    assert CountingDict.gets <= 5 * n
+
+
+def test_is_ancestor_still_correct_with_memoized_depths():
+    def prog(rt, mem):
+        f = rt.future(lambda: None, name="p")
+
+        def mid():
+            def inner():
+                f.get()  # great-grandparent holds the handle: non-tree
+
+            rt.future(inner).get()
+
+        rt.future(mid).get()
+        f.get()  # parent join: tree
+
+    snap = collect(prog)
+    assert snap.num_gets == 4
+    assert snap.num_nt_joins == 1
+
+
+def test_detector_perf_tolerates_missing_stats_keys():
+    """Duck-typed detectors may omit counters from perf_stats; building
+    the report row from them must not raise (regression: KeyError took
+    down the whole Table-2 render)."""
+
+    class Partial:
+        perf_stats = {"precede_queries": 7}
+
+    perf = DetectorPerf.from_detector(Partial())
+    assert perf.precede_queries == 7
+    assert perf.cache_hits == 0
+    assert perf.cache_hit_rate == 0.0
+    assert perf.as_row()["#PrecedeQ"] == 7
+    assert DetectorPerf.from_detector(None).precede_queries == 0
+
+
+def test_detector_perf_from_no_cache_ablation():
+    """cache_precede=False leaves cache counters at zero but the row must
+    still build and render."""
+    det = DeterminacyRaceDetector(cache_precede=False)
+    rt = Runtime(observers=[det])
+    mem = SharedArray(rt, "x", 2)
+
+    def prog(rt_):
+        f = rt_.future(lambda: mem.write(0, 1))
+        f.get()
+        mem.read(0)
+
+    rt.run(prog)
+    perf = DetectorPerf.from_detector(det)
+    assert perf.cache_hits == 0 and perf.cache_misses == 0
+    assert perf.cache_hit_rate == 0.0
+    assert "CacheHit%" in render_table([perf.as_row()])
+
+
+def test_render_metrics_blocks():
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.counter("shadow_reads").inc(3)
+    reg.histogram("precede_latency_ns", (100, 200)).observe(150)
+    reg.epoch_ratio("cache_hit_by_epoch_window", 4).observe(0, True)
+    text = render_metrics(reg.as_dict())
+    assert "shadow_reads" in text
+    assert "precede_latency_ns" in text
+    assert "cache_hit_by_epoch_window" in text
+    assert render_metrics({}) == "(no metrics)"

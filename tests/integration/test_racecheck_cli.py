@@ -162,3 +162,71 @@ def test_import_time_error_exits_two(tmp_path, capsys):
     path.write_text("1 / 0\n")
     assert main([str(path)]) == 2
     assert "ZeroDivisionError" in capsys.readouterr().err
+
+
+def test_perfetto_and_metrics_json_outputs(racy_program, tmp_path, capsys):
+    """--perfetto emits a schema-valid Chrome trace carrying task spans,
+    finish spans, and PRECEDE instants with cache-outcome args;
+    --metrics-json dumps the registry."""
+    import json
+
+    from repro.obs.validate import validate_chrome_trace
+
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    code = main([racy_program, "--perfetto", str(trace),
+                 "--metrics-json", str(metrics)])
+    assert code == 1  # still reports the race
+    data = json.loads(trace.read_text())
+    assert validate_chrome_trace(data) == []
+    events = data["traceEvents"]
+    task_spans = [e for e in events
+                  if e["ph"] == "X" and e.get("cat") == "task"]
+    assert any(e["name"] == "producer" for e in task_spans)
+    assert any(e["ph"] == "X" and e.get("cat") == "finish" for e in events)
+    precedes = [e for e in events
+                if e["ph"] == "i" and e["name"] == "precede"]
+    assert precedes
+    assert all(e["args"]["outcome"] in ("level0", "hit", "miss", "search")
+               for e in precedes)
+    assert any(e["ph"] == "i" and e.get("cat") == "race" for e in events)
+
+    stats = json.loads(metrics.read_text())
+    assert set(stats) == {"counters", "histograms", "epoch_windows"}
+    assert stats["counters"]["races_reported"] == 1
+    assert stats["counters"]["tasks_spawned"] >= 1
+
+
+def test_perfetto_written_even_when_program_crashes(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "boom3.py"
+    path.write_text(
+        "from repro import SharedArray\n"
+        "def setup(rt):\n    return SharedArray(rt, 'd', 2)\n"
+        "def program(rt, d):\n"
+        "    d.write(0, 1)\n"
+        "    raise RuntimeError('late crash')\n"
+    )
+    trace = tmp_path / "t.json"
+    assert main([str(path), "--perfetto", str(trace)]) == 2
+    data = json.loads(trace.read_text())
+    assert any(e.get("cat") == "shadow" for e in data["traceEvents"])
+
+
+def test_metrics_json_without_detector_has_runtime_counters(
+        clean_program, tmp_path, capsys):
+    """Obs works with the baseline detectors too: runtime spans and
+    shadow counters flow even when the dtrg-specific hooks never fire."""
+    import json
+
+    metrics = tmp_path / "m.json"
+    code = main([clean_program, "--detector", "brute-force",
+                 "--metrics-json", str(metrics)])
+    assert code == 0
+    stats = json.loads(metrics.read_text())
+    # main + the producer future both get spans.
+    assert stats["counters"]["tasks_spawned"] == 2
+    # The dtrg-specific hooks never fire under a baseline detector.
+    assert stats["counters"]["precede_search"] == 0
+    assert stats["histograms"]["precede_latency_ns"]["count"] == 0

@@ -1,0 +1,155 @@
+"""Tests for the Observability hook bundle and the null-object protocol."""
+
+from repro.core.detector import DeterminacyRaceDetector
+from repro.core.reachability import DynamicTaskReachabilityGraph
+from repro.obs import NULL_OBSERVABILITY, Observability, RingTracer
+
+
+def enabled_obs():
+    return Observability(tracer=RingTracer())
+
+
+class TestNullObjectProtocol:
+    def test_null_observability_is_disabled(self):
+        assert NULL_OBSERVABILITY.enabled is False
+        assert NULL_OBSERVABILITY.tracer is None
+
+    def test_attach_null_is_a_true_no_op(self):
+        g = DynamicTaskReachabilityGraph()
+        g.attach_observability(None)
+        g.attach_observability(NULL_OBSERVABILITY)
+        # No instance-attribute shadowing: the class methods stay bound.
+        assert "precede" not in vars(g)
+        assert "add_task" not in vars(g)
+
+    def test_detector_normalizes_disabled_obs_to_none(self):
+        det = DeterminacyRaceDetector(obs=NULL_OBSERVABILITY)
+        assert det.obs is None
+        assert "precede" not in vars(det.dtrg)
+
+    def test_attach_enabled_rebinds_query_and_mutators(self):
+        g = DynamicTaskReachabilityGraph()
+        g.attach_observability(enabled_obs())
+        for name in (
+            "precede", "add_task", "record_join", "merge", "on_terminate",
+        ):
+            assert name in vars(g)
+
+
+class TestRuntimeSpans:
+    def test_task_spans_pair_up(self):
+        obs = enabled_obs()
+        obs.task_begin(3, "worker", True)
+        obs.task_end(3)
+        events = obs.tracer.events()
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "worker"
+        assert spans[0]["tid"] == 3
+        assert spans[0]["args"]["future"] is True
+        assert obs.registry.counter("tasks_spawned").value == 1
+
+    def test_unmatched_end_is_ignored(self):
+        obs = enabled_obs()
+        obs.task_end(99)
+        obs.finish_end(99)
+        assert obs.tracer.events() == []
+
+    def test_finish_spans_land_on_owner_track(self):
+        obs = enabled_obs()
+        obs.finish_begin(7, owner_tid=2)
+        obs.finish_end(7)
+        span = obs.tracer.events()[0]
+        assert span["name"] == "finish#7"
+        assert span["tid"] == 2
+
+    def test_get_join_instant(self):
+        obs = enabled_obs()
+        obs.on_get(5, 4)
+        inst = obs.tracer.events()[0]
+        assert inst["cat"] == "join"
+        assert inst["tid"] == 5
+        assert inst["args"]["producer"] == 4
+
+
+class TestDtrgHooks:
+    def test_on_precede_records_metrics_and_instant(self):
+        obs = enabled_obs()
+        obs.on_precede("A", "B", True, 1500, 2, "miss", epoch=7)
+        obs.on_precede("A", "B", True, 300, 0, "hit", epoch=8)
+        obs.on_precede("A", "C", False, 100, 0, "level0", epoch=8)
+        reg = obs.registry
+        assert reg.counter("precede_miss").value == 1
+        assert reg.counter("precede_hit").value == 1
+        assert reg.counter("precede_level0").value == 1
+        assert reg.histogram("precede_latency_ns").count == 3
+        assert reg.histogram("explore_frontier").count == 3
+        timeline = reg.epoch_ratio("cache_hit_by_epoch_window").as_dict()
+        # level0 outcomes stay out of the cache timeline.
+        assert timeline["windows"][0]["total"] == 2
+        instants = [
+            e for e in obs.tracer.events() if e["name"] == "precede"
+        ]
+        assert instants[0]["args"]["outcome"] == "miss"
+        assert instants[0]["args"]["visited"] == 2
+
+    def test_on_mutation_counts_by_kind(self):
+        obs = enabled_obs()
+        obs.on_mutation("add_task", 1, "T1")
+        obs.on_mutation("merge", 2)
+        assert obs.registry.counter("dtrg_add_task").value == 1
+        assert obs.registry.counter("dtrg_merge").value == 1
+        names = [e["name"] for e in obs.tracer.events()]
+        assert names == ["dtrg.add_task", "dtrg.merge"]
+
+    def test_metrics_only_mode_needs_no_tracer(self):
+        obs = Observability(tracer=None)
+        obs.task_begin(1, "t", False)
+        obs.task_end(1)
+        obs.on_precede("A", "B", True, 10, 0, "level0", epoch=0)
+        obs.on_shadow_access("read", 1, ("x", 0), 2, 50)
+        obs.on_race("read-write", 0, 1, ("x", 0))
+        obs.ws_step(0, 3, 0, 2)
+        obs.ws_steal(1, 0, 4, hit=False, victim_depth=0)
+        assert obs.registry.counter("races_reported").value == 1
+
+
+class TestShadowAndRaceHooks:
+    def test_shadow_access_populations(self):
+        obs = enabled_obs()
+        obs.on_shadow_access("read", 2, ("x", 0), 3, 100)
+        obs.on_shadow_access("write", 2, ("x", 0), 1, 100)
+        assert obs.registry.counter("shadow_reads").value == 1
+        assert obs.registry.counter("shadow_writes").value == 1
+        assert obs.registry.histogram("cell_readers").count == 2
+
+    def test_race_instant(self):
+        obs = enabled_obs()
+        obs.on_race("write-read", 1, 2, ("x", 3))
+        inst = obs.tracer.events()[0]
+        assert inst["cat"] == "race"
+        assert inst["args"]["kind"] == "write-read"
+
+
+class TestWorkStealingHooks:
+    def test_virtual_cycle_timestamps(self):
+        obs = enabled_obs()
+        obs.ws_step(0, 11, start_cycle=4, weight=3)
+        obs.ws_steal(1, 0, cycle=4, hit=True, victim_depth=2)
+        step, steal = obs.tracer.events()
+        assert step["ph"] == "X"
+        assert step["ts"] == 4.0 and step["dur"] == 3.0
+        assert steal["name"] == "steal"
+        assert steal["ts"] == 4.0
+        assert obs.registry.counter("ws_steals").value == 1
+        assert obs.registry.histogram("ws_victim_depth").count == 1
+
+
+def test_write_trace_requires_tracer(tmp_path):
+    import pytest
+
+    obs = Observability(tracer=None)
+    with pytest.raises(ValueError):
+        obs.write_trace(tmp_path / "t.json")
+    obs.write_metrics(tmp_path / "m.json")  # metrics always available
+    assert (tmp_path / "m.json").exists()

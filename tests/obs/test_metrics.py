@@ -1,0 +1,113 @@
+"""Unit tests for the observability metrics primitives."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    EpochWindowRatio,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    c = Counter()
+    assert c.value == 0
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    assert c.as_dict() == 6
+
+
+class TestHistogram:
+    def test_bucket_assignment_inclusive_upper_bounds(self):
+        h = Histogram((10, 20, 40))
+        for v in (0, 10, 11, 20, 39, 40, 41, 1000):
+            h.observe(v)
+        # (-inf,10]=0,10 ; (10,20]=11,20 ; (20,40]=39,40 ; overflow=41,1000
+        assert h.counts == [2, 2, 2, 2]
+        assert h.count == 8
+        assert h.min == 0 and h.max == 1000
+        assert h.total == sum((0, 10, 11, 20, 39, 40, 41, 1000))
+
+    def test_mean_and_percentiles(self):
+        h = Histogram((1, 2, 4, 8))
+        for v in (1, 1, 1, 2, 8):
+            h.observe(v)
+        assert h.mean == pytest.approx(13 / 5)
+        assert h.percentile(50) == 1
+        assert h.percentile(99) == 8
+        assert h.percentile(100) == 8
+
+    def test_empty_histogram(self):
+        h = Histogram((1, 2))
+        assert h.mean == 0.0
+        assert h.percentile(99) == 0.0
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+
+    def test_overflow_percentile_uses_observed_max(self):
+        h = Histogram((1,))
+        h.observe(500)
+        assert h.percentile(50) == 500
+
+    def test_as_dict_shape(self):
+        h = Histogram((5, 10))
+        h.observe(3)
+        d = h.as_dict()
+        assert [b["le"] for b in d["buckets"]] == [5, 10, "+Inf"]
+        assert sum(b["count"] for b in d["buckets"]) == d["count"] == 1
+        assert set(d) == {
+            "count", "sum", "min", "max", "mean", "p50", "p99", "buckets",
+        }
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((5, 1))
+
+
+class TestEpochWindowRatio:
+    def test_windows_key_by_epoch_div_window(self):
+        r = EpochWindowRatio(window=10)
+        r.observe(0, True)
+        r.observe(9, False)
+        r.observe(10, True)
+        d = r.as_dict()
+        assert d["window"] == 10
+        assert [w["epoch_start"] for w in d["windows"]] == [0, 10]
+        assert d["windows"][0]["rate"] == pytest.approx(0.5)
+        assert d["windows"][1]["rate"] == pytest.approx(1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            EpochWindowRatio(window=0)
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use_and_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h", (1, 2)) is reg.histogram("h")
+        assert reg.epoch_ratio("r") is reg.epoch_ratio("r")
+
+    def test_as_dict_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h", (1,)).observe(1)
+        reg.epoch_ratio("r").observe(0, True)
+        d = reg.as_dict()
+        assert d["counters"] == {"c": 1}
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["epoch_windows"]["r"]["windows"][0]["total"] == 1
+
+    def test_write_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        assert json.loads(path.read_text()) == reg.as_dict()

@@ -1,0 +1,95 @@
+"""Unit tests for the ring-buffer tracer and the trace-schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import RingTracer
+from repro.obs.validate import main as validate_main, validate_chrome_trace
+
+
+def make_tracer(**kw):
+    # Deterministic clock: each call advances 1000ns = 1us.
+    ticks = iter(range(0, 10_000_000, 1000))
+    return RingTracer(clock=lambda: next(ticks), **kw)
+
+
+class TestRingTracer:
+    def test_complete_and_instant_events(self):
+        t = make_tracer()
+        t.complete("task", "task", 3, 0.0, 5.0, args={"tid": 3})
+        t.instant("precede", "dtrg", 3, args={"verdict": True})
+        x, i = t.events()
+        assert x["ph"] == "X" and x["dur"] == 5.0 and x["tid"] == 3
+        assert i["ph"] == "i" and i["s"] == "t" and i["args"]["verdict"]
+
+    def test_synthetic_track_ids_are_stable_and_disjoint(self):
+        t = make_tracer()
+        a = t.track_id("dtrg")
+        b = t.track_id("shadow")
+        assert t.track_id("dtrg") == a
+        assert a != b
+        assert a >= 1_000_000  # never collides with task ids
+        assert t.track_id(7) == 7
+
+    def test_ring_overwrites_oldest_and_counts_dropped(self):
+        t = make_tracer(capacity=3)
+        for n in range(5):
+            t.instant(f"e{n}", "c", 0)
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert [e["name"] for e in t.events()] == ["e2", "e3", "e4"]
+        chrome = t.to_chrome()
+        assert chrome["otherData"]["dropped"] == 2
+
+    def test_track_name_metadata(self):
+        t = make_tracer()
+        t.set_track_name(4, "task worker")
+        meta = [e for e in t.to_chrome()["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "task worker"
+        assert meta[0]["tid"] == 4
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+
+    def test_write_produces_valid_schema(self, tmp_path):
+        t = make_tracer()
+        t.set_track_name("dtrg", "DTRG")
+        t.complete("main", "task", 0, 0.0, 2.5)
+        t.instant("mut", "dtrg", "dtrg")
+        path = tmp_path / "trace.json"
+        t.write(path)
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"foo": 1}) != []
+
+    def test_flags_bad_events(self):
+        bad = {"traceEvents": [
+            {"ph": "Q", "name": "x", "pid": 1, "tid": 1},
+            {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0.0,
+             "cat": "c", "dur": -1},
+            {"ph": "i", "name": "x", "pid": 1, "tid": 1, "ts": 0.0,
+             "cat": "c", "s": "z"},
+            {"ph": "X", "name": 3, "pid": "one", "tid": 1, "ts": "zero",
+             "cat": 9, "dur": 1},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) >= 4
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"traceEvents": []}))
+        assert validate_main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Q"}]}))
+        assert validate_main([str(bad)]) == 1
+        assert validate_main([str(tmp_path / "missing.json")]) == 2
+        assert validate_main([]) == 2
