@@ -5,17 +5,25 @@ Scenario: a tiled prefix-sum-style wavefront where the programmer forgot
 the *vertical* dependence — tiles wait for their left neighbor but not the
 one above.  The workflow shown:
 
-1. run once under the detector → races reported with task names;
-2. extract two concrete schedules that produce different results for a
+1. run once under the detector *with race provenance* → races reported
+   with task names and source call sites, plus a non-ordering witness
+   per race explaining why PRECEDE answered false;
+2. write the self-contained HTML report (the artifact you would attach
+   to a bug ticket) — the same thing ``repro-racecheck --explain --html``
+   produces;
+3. extract two concrete schedules that produce different results for a
    racy cell (the executable witness of nondeterminism);
-3. apply the fix (add the missing ``get``) → clean report, and the result
+4. apply the fix (add the missing ``get``) → clean report, and the result
    now provably equals the serial elision on every schedule.
 
 Run:  python examples/race_debugging.py
 """
 
+import tempfile
+
 from repro import DeterminacyRaceDetector, Runtime, SharedMatrix, SharedNDArray
 from repro.graph import GraphBuilder, ReachabilityClosure
+from repro.obs import RaceProvenance, render_html_report, render_witness_text
 from repro.runtime.parallel import demonstrate_nondeterminism
 
 import numpy as np
@@ -48,10 +56,10 @@ def wavefront(rt, grid, handles, *, wait_above: bool):
             handles.read(bi, bj).get()
 
 
-def run(wait_above: bool):
-    det = DeterminacyRaceDetector()
+def run(wait_above: bool, provenance=None):
+    det = DeterminacyRaceDetector(provenance=provenance)
     gb = GraphBuilder()
-    rt = Runtime(observers=[det, gb])
+    rt = Runtime(observers=[det, gb], provenance=provenance)
     grid = SharedNDArray(rt, "grid",
                          np.arange(N * N, dtype=np.int64).reshape(N, N))
     handles = SharedMatrix(rt, "handles", N_TILES, N_TILES)
@@ -60,12 +68,30 @@ def run(wait_above: bool):
 
 
 def main() -> None:
-    print("=== step 1: run the buggy version under the detector ===")
-    det, graph, _ = run(wait_above=False)
-    print(det.report.summary())
+    print("=== step 1: run the buggy version with race provenance ===")
+    prov = RaceProvenance()
+    det, graph, _ = run(wait_above=False, provenance=prov)
+    print(det.report.summary())  # each race now carries its call sites
     assert det.report.has_races
+    assert all(r.prev_site and r.current_site for r in det.report)
+    print("\nwhy the first pair is unordered (non-ordering certificate):")
+    print(render_witness_text(det.witnesses[0]))
 
-    print("\n=== step 2: turn one race into an executable witness ===")
+    print("\n=== step 2: write the shareable HTML report ===")
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".html", delete=False
+    ) as fh:
+        fh.write(render_html_report(
+            program="examples/race_debugging.py (buggy wavefront)",
+            report=det.report,
+            witnesses=det.witnesses,
+            provenance=prov,
+        ))
+        print(f"HTML race report written to {fh.name}")
+        print("(repro-racecheck --explain --html report.html does the "
+              "same for any program file)")
+
+    print("\n=== step 3: turn one race into an executable witness ===")
     loc = sorted(det.racy_locations)[0]
     witness = demonstrate_nondeterminism(graph, loc,
                                          ReachabilityClosure(graph))
@@ -75,7 +101,7 @@ def main() -> None:
     for diff in a.differs_from(b)[:3]:
         print("  -", diff)
 
-    print("\n=== step 3: add the missing vertical get() and re-run ===")
+    print("\n=== step 4: add the missing vertical get() and re-run ===")
     det, graph, grid = run(wait_above=True)
     print(det.report.summary())
     assert not det.report.has_races

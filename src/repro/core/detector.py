@@ -75,6 +75,16 @@ class DeterminacyRaceDetector(ExecutionObserver):
         object leaves every hot path on the uninstrumented code —
         structural counters and verdicts are bit-identical either way
         (pinned by ``tests/integration/test_obs_integration.py``).
+    provenance:
+        Optional :class:`repro.obs.provenance.RaceProvenance` (the same
+        object attached to the runtime / replay).  When enabled, each
+        reported race carries the two accesses' call-site labels and a
+        machine-checkable :class:`~repro.obs.provenance.RaceWitness`
+        (non-ordering certificate built by
+        :meth:`DynamicTaskReachabilityGraph.explain_precede`) is appended
+        to :attr:`witnesses`.  ``None`` (default) changes nothing: the
+        certificate builder bumps no DTRG counters and touches no cache,
+        so structural counters stay bit-identical.
 
     Attributes
     ----------
@@ -85,6 +95,9 @@ class DeterminacyRaceDetector(ExecutionObserver):
         Table 1-style dumps and the metrics harness).
     shadow:
         The :class:`~repro.core.shadow.ShadowMemory`.
+    witnesses:
+        :class:`~repro.obs.provenance.RaceWitness` list, parallel to the
+        deduplicated races (empty unless ``provenance`` is attached).
     """
 
     def __init__(
@@ -97,6 +110,7 @@ class DeterminacyRaceDetector(ExecutionObserver):
         use_intervals: bool = True,
         cache_precede: bool = True,
         obs=None,
+        provenance=None,
     ) -> None:
         if isinstance(policy, str):
             policy = ReportPolicy(policy)
@@ -105,6 +119,17 @@ class DeterminacyRaceDetector(ExecutionObserver):
         self.obs = (
             obs if obs is not None and getattr(obs, "enabled", False) else None
         )
+        self.witnesses: list = []
+        if provenance is not None and getattr(provenance, "enabled", False):
+            # Local import: the provenance module is outside the detector's
+            # hot-path dependency set and only needed when attached.
+            from repro.obs.provenance import RaceWitness
+
+            self.provenance = provenance
+            self._witness_cls = RaceWitness
+        else:
+            self.provenance = None
+            self._witness_cls = None
         self.dtrg = DynamicTaskReachabilityGraph(
             use_lsa=use_lsa,
             memoize_visit=memoize_visit,
@@ -127,6 +152,10 @@ class DeterminacyRaceDetector(ExecutionObserver):
         )
         if self.obs is not None:
             self.shadow.attach_observability(self.obs)
+        if self.provenance is not None:
+            # After attach_observability so the provenance wrapper composes
+            # around the traced twins when both layers are on.
+            self.shadow.attach_provenance(self.provenance)
         self._names: dict[int, str] = {}
         #: tid -> "future-covered": the task is a future or has a future
         #: among its spawn-tree ancestors.  The shadow memory's reader-set
@@ -227,6 +256,12 @@ class DeterminacyRaceDetector(ExecutionObserver):
     def _report_race(
         self, kind: str, prev: int, cur: int, loc: Hashable
     ) -> None:
+        prov = self.provenance
+        prev_site = current_site = witness_id = None
+        if prov is not None:
+            prev_site = prov.site_label(self.shadow.stored_site(kind, prev, loc))
+            current_site = prov.site_label(prov.current_site)
+            witness_id = f"w{len(self.witnesses)}"
         race = Race(
             loc=loc,
             kind=_KIND[kind],
@@ -234,8 +269,27 @@ class DeterminacyRaceDetector(ExecutionObserver):
             current_task=cur,
             prev_name=self._names.get(prev, ""),
             current_name=self._names.get(cur, ""),
+            prev_site=prev_site,
+            current_site=current_site,
+            witness_id=witness_id,
         )
         added = self.report.add(race)
+        if added and prov is not None:
+            # Build the non-ordering certificate for PRECEDE(prev, cur) =
+            # false.  explain_precede is read-only (no counters, no cache),
+            # so witness construction never perturbs detection state.
+            self.witnesses.append(self._witness_cls(
+                witness_id=witness_id,
+                loc=loc,
+                kind=kind,
+                prev_task=prev,
+                current_task=cur,
+                prev_name=self._names.get(prev, ""),
+                current_name=self._names.get(cur, ""),
+                prev_site=prev_site,
+                current_site=current_site,
+                certificate=self.dtrg.explain_precede(prev, cur),
+            ))
         if added and self.obs is not None:
             self.obs.on_race(kind, prev, cur, loc)
         if added and self.policy is ReportPolicy.RAISE:

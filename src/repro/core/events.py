@@ -27,7 +27,7 @@ self-contained and replayable in a fresh process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Hashable, List, Tuple, Union
+from typing import TYPE_CHECKING, Hashable, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.finish import FinishScope
@@ -90,6 +90,13 @@ class ExecutionObserver:
 
 # ---------------------------------------------------------------------- #
 # Recorded-event dataclasses                                             #
+#
+# ``site`` is the optional provenance call-site label (``file:line
+# (function)``) recorded when a :class:`repro.obs.provenance.RaceProvenance`
+# is attached to the recorder.  It defaults to ``None`` so traces recorded
+# without provenance — and the codec — are unchanged; traces pickled before
+# the field existed lack the attribute entirely, so readers must use
+# ``getattr(event, "site", None)``.
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class TaskCreateEvent:
@@ -97,6 +104,7 @@ class TaskCreateEvent:
     child: int           #: tid of the new task
     is_future: bool      #: TaskKind of the child
     ief: int             #: fid of the child's immediately enclosing finish
+    site: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,7 @@ class TaskEndEvent:
 class GetEvent:
     consumer: int
     producer: int
+    site: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -126,12 +135,14 @@ class FinishEndEvent:
 class ReadEvent:
     task: int
     loc: LocationKey
+    site: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class WriteEvent:
     task: int
     loc: LocationKey
+    site: Optional[str] = None
 
 
 Event = Union[

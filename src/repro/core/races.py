@@ -18,8 +18,8 @@ even though the specific step pair is not retained.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Hashable, List, Set
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set
 
 __all__ = ["AccessKind", "Race", "RaceReport", "ReportPolicy"]
 
@@ -48,6 +48,14 @@ class Race:
 
     ``prev_task``/``current_task`` are task ids; ``prev_name`` and
     ``current_name`` carry the human-readable task names for messages.
+
+    The provenance fields are inert by default (``None``): when the run
+    carries a :class:`repro.obs.provenance.RaceProvenance`, the detector
+    fills ``prev_site``/``current_site`` with the two accesses' call-site
+    labels and ``witness_id`` with the id of the matching
+    :class:`~repro.obs.provenance.RaceWitness` in ``detector.witnesses``.
+    They are excluded from equality and from :attr:`pair_key`, so race
+    identity and deduplication are unchanged either way.
     """
 
     loc: Hashable
@@ -56,6 +64,9 @@ class Race:
     current_task: int
     prev_name: str = ""
     current_name: str = ""
+    prev_site: Optional[str] = field(default=None, compare=False)
+    current_site: Optional[str] = field(default=None, compare=False)
+    witness_id: Optional[str] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return (
@@ -115,9 +126,26 @@ class RaceReport:
         return iter(self.races)
 
     def summary(self) -> str:
-        """Multi-line human-readable summary."""
+        """Multi-line human-readable summary.
+
+        Rendering order is deterministic — races are stable-sorted by
+        (location, task pair, kind) — so downstream consumers hashing the
+        text (fuzz triage signatures, CI logs) never depend on shadow-cell
+        dict order.  Iteration over the report itself stays in insertion
+        (detection) order.
+        """
         if not self.races:
             return "no determinacy races detected"
+        ordered = sorted(
+            self.races,
+            key=lambda r: (repr(r.loc),) + r.pair_key[1:3] + (r.kind.value,),
+        )
         lines = [f"{len(self.races)} determinacy race(s) detected:"]
-        lines += [f"  - {race}" for race in self.races]
+        for race in ordered:
+            lines.append(f"  - {race}")
+            if race.prev_site or race.current_site:
+                lines.append(
+                    f"      prev access at {race.prev_site or '<unknown>'}; "
+                    f"current access at {race.current_site or '<unknown>'}"
+                )
         return "\n".join(lines)

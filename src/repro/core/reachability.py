@@ -508,6 +508,143 @@ class DynamicTaskReachabilityGraph:
                 visited.discard(root)
         return found
 
+    def explain_precede(self, a_key: Hashable, b_key: Hashable) -> dict:
+        """Replay ``PRECEDE(a, b)`` in read-only mode and return a
+        JSON-able certificate of the verdict (the race-witness payload).
+
+        Unlike :meth:`precede` this touches **nothing**: no counters, no
+        cache lookups or stores — so building witnesses perturbs neither
+        the structural columns (``num_precede_queries``/``num_visits``)
+        nor cached verdicts.  The recorded walk is the default strategy
+        (interval level-0 checks, memoized VISIT, LSA-chain ancestors);
+        the verdict is the same reachability answer every ablation
+        computes, asserted against :meth:`precede` by the witness
+        soundness tests.
+
+        Certificate layout (all task references are node keys)::
+
+            {"query": {"a", "b"}, "verdict": bool,
+             "a_label"/"b_label": {"pre", "post", "final"},
+             "a_set"/"b_set": {"rep", "label", "max_pre", "nt", "lsa",
+                               "members", "members_truncated"},
+             "level0": {"same_task", "same_set", "interval_ancestor",
+                        "preorder_pruned", "empty_frontier"},
+             "search": None | {"expanded": [{"rep", "label", "via",
+                                             "nt_scanned"}],
+                               "lsa_chain": [...],
+                               "frontier_exhausted": bool}}
+        """
+        a = self._nodes[a_key]
+        b = self._nodes[b_key]
+        sets = self._sets
+        root_a, data_a = sets.root_and_metadata(a)
+        root_b, data_b = sets.root_and_metadata(b)
+        la = data_a.label
+
+        def label_data(label: IntervalLabel) -> dict:
+            return {"pre": label.pre, "post": label.post,
+                    "final": label.final}
+
+        def set_info(root: TaskNode, data: SetData) -> dict:
+            members = [n.key for n in sets.members(root)]
+            truncated = len(members) > 64
+            return {
+                "rep": root.key,
+                "label": label_data(data.label),
+                "max_pre": data.max_pre,
+                "nt": [n.key for n in data.nt],
+                "lsa": data.lsa.key if data.lsa is not None else None,
+                "members": members[:64],
+                "members_truncated": truncated,
+            }
+
+        level0 = {
+            "same_task": a_key == b_key,
+            "same_set": root_a is root_b,
+            "interval_ancestor": data_a.label.contains(data_b.label),
+            "preorder_pruned": la.pre > data_b.max_pre,
+            "empty_frontier": not data_b.nt and data_b.lsa is None,
+        }
+        cert = {
+            "query": {"a": a_key, "b": b_key},
+            "a_label": label_data(a.label),
+            "b_label": label_data(b.label),
+            "a_set": set_info(root_a, data_a),
+            "b_set": set_info(root_b, data_b),
+            "level0": level0,
+        }
+        if (level0["same_task"] or level0["same_set"]
+                or level0["interval_ancestor"]):
+            cert["verdict"] = True
+            cert["search"] = None
+            return cert
+        if level0["preorder_pruned"]:
+            cert["verdict"] = False
+            cert["search"] = None
+            return cert
+
+        # Backward search mirroring _visit/_explore with a memoized
+        # visited set, recording every expansion and the LSA chain hops.
+        expanded: list = []
+        lsa_chain: list = []
+        visited = {root_b}
+
+        def visit(node: TaskNode, via: str) -> bool:
+            root, data = sets.root_and_metadata(node)
+            if root is root_a:
+                return True
+            if data_a.label.contains(data.label):
+                return True
+            if la.pre > data.max_pre:
+                return False
+            if root in visited:
+                return False
+            visited.add(root)
+            expanded.append({
+                "rep": root.key,
+                "label": label_data(data.label),
+                "via": via,
+                "nt_scanned": [n.key for n in data.nt],
+            })
+            return explore(data)
+
+        def explore(data: SetData) -> bool:
+            for pred in data.nt:
+                if visit(pred, "nt"):
+                    return True
+            anc = data.lsa
+            while anc is not None:
+                root_anc, data_anc = sets.root_and_metadata(anc)
+                if root_anc not in visited:
+                    visited.add(root_anc)
+                    lsa_chain.append(root_anc.key)
+                    expanded.append({
+                        "rep": root_anc.key,
+                        "label": label_data(data_anc.label),
+                        "via": "lsa",
+                        "nt_scanned": [n.key for n in data_anc.nt],
+                    })
+                    for pred in data_anc.nt:
+                        if visit(pred, "nt"):
+                            return True
+                anc = data_anc.lsa
+            return False
+
+        expanded.append({
+            "rep": root_b.key,
+            "label": label_data(data_b.label),
+            "via": "start",
+            "nt_scanned": [n.key for n in data_b.nt],
+        })
+        found = explore(data_b)
+        cert["verdict"] = found
+        cert["search"] = {
+            "expanded": expanded,
+            "lsa_chain": lsa_chain,
+            "frontier_exhausted": not found,
+        }
+        return cert
+
     def _contains(
         self,
         root_a: TaskNode,

@@ -1,13 +1,15 @@
 """Graphviz DOT export of computation graphs.
 
 Used by the figure-reproduction examples to emit renderable versions of the
-paper's Figure 2/Figure 3 computation graphs.  Pure string generation — no
-graphviz dependency; pipe the output through ``dot -Tpng`` if available.
+paper's Figure 2/Figure 3 computation graphs, and by ``repro-racecheck
+--explain --dot`` to overlay race witnesses on the graph.  Pure string
+generation — no graphviz dependency; pipe the output through ``dot -Tpng``
+if available.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.graph.computation_graph import ComputationGraph, EdgeKind
 
@@ -21,9 +23,62 @@ _EDGE_STYLE = {
 }
 
 
-def to_dot(graph: ComputationGraph, title: str = "computation graph") -> str:
+def _witness_highlights(graph: ComputationGraph, witnesses: Iterable):
+    """Compute the overlay sets for a list of RaceWitness objects.
+
+    Returns ``(racing_tasks, frontier_tasks, racing_steps)``:
+
+    * ``racing_tasks`` — the two tasks of each witness (red clusters);
+    * ``frontier_tasks`` — members of every DTRG set the exhausted VISIT
+      search expanded (orange clusters), i.e. the certificate's frontier;
+    * ``racing_steps`` — steps holding the witnessed conflicting accesses
+      (filled red), resolved from ``accesses_by_loc``.
+    """
+    racing_tasks: Set[int] = set()
+    frontier_tasks: Set[int] = set()
+    racing_steps: Set[int] = set()
+    for w in witnesses:
+        racing_tasks.update((w.prev_task, w.current_task))
+        cert = w.certificate or {}
+        for key in ("a_set", "b_set"):
+            frontier_tasks.update(cert.get(key, {}).get("members", []))
+        search = cert.get("search") or {}
+        for rec in search.get("expanded", []):
+            frontier_tasks.add(rec.get("rep"))
+        roles = {"read-write": (False, True), "write-write": (True, True),
+                 "write-read": (True, False)}[w.kind]
+        for acc in graph.accesses_by_loc.get(w.loc, []):
+            if ((acc.task == w.prev_task and acc.is_write == roles[0])
+                    or (acc.task == w.current_task
+                        and acc.is_write == roles[1])):
+                racing_steps.add(acc.step)
+    frontier_tasks -= racing_tasks
+    return racing_tasks, frontier_tasks, racing_steps
+
+
+def to_dot(
+    graph: ComputationGraph,
+    title: str = "computation graph",
+    witnesses: Optional[Iterable] = None,
+) -> str:
     """Render the graph, clustering steps by task as in the paper's figures
-    (circles = steps, rectangles = task clusters)."""
+    (circles = steps, rectangles = task clusters).
+
+    ``witnesses`` (optional) is an iterable of
+    :class:`repro.obs.provenance.RaceWitness`; when given, the racing
+    tasks' clusters are outlined red, every DTRG set the exhausted VISIT
+    search expanded is outlined orange, and the steps holding the
+    witnessed accesses are filled red — so the rendered figure shows both
+    the race and the evidence that no path orders it.  Without witnesses
+    the output is byte-identical to the pre-overlay renderer.
+    """
+    racing_tasks: Set[int] = set()
+    frontier_tasks: Set[int] = set()
+    racing_steps: Set[int] = set()
+    if witnesses is not None:
+        racing_tasks, frontier_tasks, racing_steps = _witness_highlights(
+            graph, witnesses
+        )
     lines: List[str] = [
         "digraph G {",
         f'  label="{title}";',
@@ -36,10 +91,27 @@ def to_dot(graph: ComputationGraph, title: str = "computation graph") -> str:
     for tid, sids in by_task.items():
         name = graph.task_names.get(tid, f"task{tid}")
         lines.append(f"  subgraph cluster_{tid} {{")
-        lines.append(f'    label="{name}"; style=rounded;')
+        if tid in racing_tasks:
+            lines.append(
+                f'    label="{name} (racing)"; style=rounded; '
+                'color="red"; penwidth=2;'
+            )
+        elif tid in frontier_tasks:
+            lines.append(
+                f'    label="{name} (witness frontier)"; style=rounded; '
+                'color="orange";'
+            )
+        else:
+            lines.append(f'    label="{name}"; style=rounded;')
         for sid in sids:
             label = graph.steps[sid].label or f"S{sid}"
-            lines.append(f'    s{sid} [label="{label}"];')
+            if sid in racing_steps:
+                lines.append(
+                    f'    s{sid} [label="{label}", style=filled, '
+                    'fillcolor="salmon"];'
+                )
+            else:
+                lines.append(f'    s{sid} [label="{label}"];')
         lines.append("  }")
     for src, dst, kind in graph.edges:
         lines.append(f"  s{src} -> s{dst} [{_EDGE_STYLE[kind]}];")

@@ -1,0 +1,171 @@
+"""``repro-bench`` — machine-readable benchmark runs for CI artifacts.
+
+``repro-table2`` renders the paper's Table 2 for humans; this entry point
+runs the same registry (:data:`~repro.harness.runner.BENCHMARKS`, plus
+``--extended`` for the extension rows) and writes one JSON document —
+``BENCH_PR4.json`` by default — that CI uploads as an artifact so perf and
+structural counters can be diffed across commits without screen-scraping
+the rendered table::
+
+    repro-bench --scale tiny --repeats 1 --output BENCH_PR4.json
+
+Per workload the document records the three wall times (Seq /
+Instrumented / Racedet, min-of-``--repeats``), both slowdown ratios, the
+structural counters the paper reports (#Tasks, #NTJoins, #SharedMem,
+#AvgReaders) and the detector's cache/fast-path counters (PRECEDE
+queries, cache hit rate, calls saved by the shadow fast paths).
+
+Schema (``repro.bench/1``)::
+
+    {"schema": "repro.bench/1", "scale": ..., "repeats": ...,
+     "tag": ..., "workloads": [{"name": ..., "seq_seconds": ...,
+       "instrumented_seconds": ..., "racedet_seconds": ...,
+       "slowdown_vs_seq": ..., "slowdown_vs_instrumented": ...,
+       "races": ..., "structural": {...}, "detector_perf": {...}}, ...]}
+
+Exit status: 0 on success, 1 if any workload failed verification or
+raised, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from typing import List, Optional
+
+from repro.harness.runner import (
+    BENCHMARKS,
+    EXTENDED_BENCHMARKS,
+    run_benchmark,
+)
+
+__all__ = ["bench_data", "main"]
+
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def _workload_data(result) -> dict:
+    return {
+        "name": result.name,
+        "scale": result.scale,
+        "seq_seconds": result.seq_seconds,
+        "instrumented_seconds": result.instrumented_seconds,
+        "racedet_seconds": result.racedet_seconds,
+        "slowdown_vs_seq": round(result.slowdown_vs_seq, 4),
+        "slowdown_vs_instrumented": round(
+            result.slowdown_vs_instrumented, 4
+        ),
+        "races": result.races,
+        "structural": {
+            "num_tasks": result.metrics.num_tasks,
+            "num_future_tasks": result.metrics.num_future_tasks,
+            "num_gets": result.metrics.num_gets,
+            "num_nt_joins": result.metrics.num_nt_joins,
+            "num_shared_accesses": result.metrics.num_shared_accesses,
+            "avg_readers": round(result.avg_readers, 4),
+        },
+        "detector_perf": asdict(result.perf),
+    }
+
+
+def bench_data(
+    names: List[str],
+    *,
+    scale: str = "tiny",
+    repeats: int = 1,
+    verify: bool = True,
+    tag: Optional[str] = None,
+    out=None,
+) -> dict:
+    """Run ``names`` and assemble the ``repro.bench/1`` document.
+
+    Failures don't abort the sweep: a workload that raises contributes an
+    ``{"name": ..., "error": ...}`` row so the artifact still records
+    which rows succeeded.
+    """
+    workloads: List[dict] = []
+    for name in names:
+        try:
+            result = run_benchmark(
+                name, scale, repeats=repeats, verify=verify
+            )
+        except Exception as exc:
+            print(f"bench {name}: FAILED — {type(exc).__name__}: {exc}",
+                  file=out or sys.stderr)
+            workloads.append({
+                "name": name,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            continue
+        row = _workload_data(result)
+        workloads.append(row)
+        print(
+            f"bench {name}: racedet {result.racedet_seconds * 1e3:.1f} ms "
+            f"(x{result.slowdown_vs_seq:.2f} vs seq), "
+            f"{result.metrics.num_tasks} tasks, "
+            f"{result.metrics.num_nt_joins} nt-joins, "
+            f"cache hit rate {result.perf.cache_hit_rate:.2f}",
+            file=out,
+        )
+    data = {
+        "schema": BENCH_SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "workloads": workloads,
+    }
+    if tag is not None:
+        data["tag"] = tag
+    return data
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium", "large"))
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--output", metavar="FILE", default="BENCH_PR4.json")
+    parser.add_argument("--tag", default=None,
+                        help="free-form label recorded in the document "
+                             "(e.g. a commit hash)")
+    parser.add_argument("--extended", action="store_true",
+                        help="include the extension rows beyond Table 2")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip output verification (timing only)")
+    parser.add_argument("--only", metavar="NAME", action="append",
+                        help="run only this workload (repeatable)")
+    args = parser.parse_args(argv)
+
+    names = list(BENCHMARKS)
+    if args.extended:
+        names += list(EXTENDED_BENCHMARKS)
+    if args.only:
+        unknown = [n for n in args.only if n not in set(names)]
+        if unknown:
+            print(f"error: unknown workload(s): {', '.join(unknown)} "
+                  f"(choose from {', '.join(names)})", file=sys.stderr)
+            return 2
+        names = args.only
+
+    data = bench_data(
+        names, scale=args.scale, repeats=args.repeats,
+        verify=not args.no_verify, tag=args.tag,
+    )
+    with open(args.output, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    failed = [w["name"] for w in data["workloads"] if "error" in w]
+    print(f"{len(data['workloads'])} workload(s) written to {args.output}")
+    if failed:
+        print(f"error: {len(failed)} workload(s) failed: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,10 +40,28 @@ class TraceRecorder(ExecutionObserver):
     The implicit bracket (main task init/end, root finish start/end,
     shutdown) is *not* recorded — :func:`replay_trace` re-synthesizes it, so
     a recorded trace contains exactly the program's own events.
+
+    With a :class:`repro.obs.provenance.RaceProvenance` attached (the same
+    object given to the runtime, whose adapter observer runs first), the
+    spawn/get/read/write events additionally carry the provenance call-site
+    label in their optional ``site`` field, so a replayed trace can
+    attribute races to source sites without re-running the program.
+    Without one the recorded events are exactly the pre-provenance events.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, provenance=None) -> None:
         self.trace = Trace()
+        self._prov = (
+            provenance
+            if provenance is not None and getattr(provenance, "enabled", False)
+            else None
+        )
+
+    def _site(self):
+        prov = self._prov
+        if prov is None:
+            return None
+        return prov.site_label(prov.current_site)
 
     def on_task_create(self, parent, child) -> None:
         self.trace.append(
@@ -52,6 +70,7 @@ class TraceRecorder(ExecutionObserver):
                 child=child.tid,
                 is_future=child.is_future,
                 ief=child.ief.fid if child.ief is not None else -1,
+                site=self._site(),
             )
         )
 
@@ -61,7 +80,13 @@ class TraceRecorder(ExecutionObserver):
         self.trace.append(TaskEndEvent(task=task.tid))
 
     def on_get(self, consumer, producer) -> None:
-        self.trace.append(GetEvent(consumer=consumer.tid, producer=producer.tid))
+        self.trace.append(
+            GetEvent(
+                consumer=consumer.tid,
+                producer=producer.tid,
+                site=self._site(),
+            )
+        )
 
     def on_finish_start(self, scope) -> None:
         if scope.enclosing is None:
@@ -80,10 +105,10 @@ class TraceRecorder(ExecutionObserver):
         self.trace.append(FinishEndEvent(fid=scope.fid))
 
     def on_read(self, task, loc) -> None:
-        self.trace.append(ReadEvent(task=task.tid, loc=loc))
+        self.trace.append(ReadEvent(task=task.tid, loc=loc, site=self._site()))
 
     def on_write(self, task, loc) -> None:
-        self.trace.append(WriteEvent(task=task.tid, loc=loc))
+        self.trace.append(WriteEvent(task=task.tid, loc=loc, site=self._site()))
 
 
 class _ReplayTask:
@@ -114,12 +139,22 @@ class _ReplayScope:
 def replay_trace(
     trace: Trace | Iterable[Event],
     observers: Sequence[ExecutionObserver],
+    *,
+    provenance=None,
 ) -> None:
     """Feed a recorded event stream to ``observers``.
 
     The replay re-synthesizes the implicit bracket that
     :meth:`Runtime.run` emits: the main task and the root finish at the
     start; root finish end, main's task end, and shutdown at the end.
+
+    ``provenance`` (a :class:`repro.obs.provenance.RaceProvenance`)
+    re-adopts the ``site`` labels recorded in the events before each
+    dispatch, so a detector replaying a provenance-recorded trace
+    attributes races exactly as the live run would.  Events recorded
+    without provenance (or pickled before the field existed) replay with
+    unknown sites; the default ``None`` keeps the dispatch closures
+    branch-free (this loop is the detector benchmarks' inner loop).
     """
     main = _ReplayTask(0, is_future=False, parent=None, ief=None)
     root = _ReplayScope(0, owner=main, enclosing=None)
@@ -175,6 +210,47 @@ def replay_trace(
         scope = scopes[event.fid]
         for ob in observers:
             ob.on_finish_end(scope)
+
+    prov = (
+        provenance
+        if provenance is not None and getattr(provenance, "enabled", False)
+        else None
+    )
+    if prov is not None:
+        # Provenance-aware shadows: adopt the recorded site, register the
+        # spawn site, then dispatch.  Defined only when requested so the
+        # default replay closures stay branch-free.
+        note = prov.note_replay_site
+
+        def replay_read(event: ReadEvent) -> None:  # noqa: F811
+            note(getattr(event, "site", None))
+            task = tasks[event.task]
+            for ob in observers:
+                ob.on_read(task, event.loc)
+
+        def replay_write(event: WriteEvent) -> None:  # noqa: F811
+            note(getattr(event, "site", None))
+            task = tasks[event.task]
+            for ob in observers:
+                ob.on_write(task, event.loc)
+
+        def replay_task_create(event: TaskCreateEvent) -> None:  # noqa: F811
+            note(getattr(event, "site", None))
+            prov.spawn_sites[event.child] = prov.current_site
+            parent = tasks[event.parent]
+            ief = scopes[event.ief] if event.ief >= 0 else None
+            child = _ReplayTask(event.child, event.is_future, parent, ief)
+            tasks[event.child] = child
+            if ief is not None:
+                ief.joins.append(child)
+            for ob in observers:
+                ob.on_task_create(parent, child)
+
+        def replay_get(event: GetEvent) -> None:  # noqa: F811
+            note(getattr(event, "site", None))
+            consumer, producer = tasks[event.consumer], tasks[event.producer]
+            for ob in observers:
+                ob.on_get(consumer, producer)
 
     handlers = {
         ReadEvent: replay_read,

@@ -25,8 +25,18 @@ al. (*DePa*):
   default*: a component without an attached (enabled) observability object
   runs the exact pre-observability code path — the disabled cost is
   asserted by ``benchmarks/bench_obs_overhead.py``;
-* :mod:`repro.obs.validate` — a trace-event schema checker
-  (``python -m repro.obs.validate trace.json``), used by tests and CI.
+* :mod:`repro.obs.validate` — a schema checker for trace-event JSON and
+  race-witness JSON (``python -m repro.obs.validate FILE.json``), used by
+  tests and CI;
+* :mod:`repro.obs.provenance` — race provenance: a bounded access-site
+  flight recorder (:class:`RaceProvenance`) attributing every spawn /
+  ``get`` / read / write to its source call site, and machine-checkable
+  :class:`RaceWitness` certificates reconstructed from the DTRG that
+  explain *why* two accesses are unordered (interval labels, set
+  representatives, the LSA chain and the exhausted VISIT frontier);
+* :mod:`repro.obs.report_html` — self-contained HTML race reports
+  (``repro-racecheck --html``) combining races, witnesses, the flight
+  recorder tail and a witness-overlaid DOT graph.
 
 Capture a trace from the CLI::
 
@@ -42,8 +52,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.provenance import (
+    RaceProvenance,
+    RaceWitness,
+    confirm_witness,
+    render_witness_text,
+    witness_report_data,
+)
+from repro.obs.report_html import render_html_report
 from repro.obs.trace import RingTracer
-from repro.obs.validate import validate_chrome_trace
+from repro.obs.validate import (
+    validate_chrome_trace,
+    validate_witness,
+    validate_witness_report,
+)
 
 __all__ = [
     "Observability",
@@ -52,6 +74,14 @@ __all__ = [
     "Histogram",
     "EpochWindowRatio",
     "MetricsRegistry",
+    "RaceProvenance",
+    "RaceWitness",
     "RingTracer",
+    "confirm_witness",
+    "render_witness_text",
+    "render_html_report",
+    "witness_report_data",
     "validate_chrome_trace",
+    "validate_witness",
+    "validate_witness_report",
 ]

@@ -70,6 +70,14 @@ class Runtime:
         finish scopes become Perfetto duration spans, ``get()`` joins
         become instants.  ``None`` (default) or a disabled object adds no
         work anywhere.
+    provenance:
+        Optional :class:`repro.obs.provenance.RaceProvenance` flight
+        recorder.  When enabled, its adapter observer is inserted *ahead*
+        of ``observers`` so every spawn/get/read/write is tagged with its
+        call site before any detector or recorder sees the event.  The
+        hot paths are untouched either way — with provenance off the
+        dispatch loops simply do not contain the adapter, so the disabled
+        path executes the exact pre-provenance bytecode.
     """
 
     def __init__(
@@ -77,8 +85,11 @@ class Runtime:
         observers: Iterable[ExecutionObserver] = (),
         *,
         obs=None,
+        provenance=None,
     ) -> None:
         self._observers: List[ExecutionObserver] = list(observers)
+        if provenance is not None and getattr(provenance, "enabled", False):
+            self._observers.insert(0, provenance.observer())
         self._obs = (
             obs if obs is not None and getattr(obs, "enabled", False) else None
         )

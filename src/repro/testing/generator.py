@@ -142,6 +142,7 @@ def run_program(
     *,
     scoped_handles: bool = True,
     obs=None,
+    provenance=None,
 ) -> Runtime:
     """Execute ``program`` depth-first on a fresh runtime.
 
@@ -164,7 +165,7 @@ def run_program(
       flow.  Such executions are outside the model's guarantee; they are
       used for robustness (no-crash, no-exception) stress tests only.
     """
-    rt = Runtime(observers=list(observers), obs=obs)
+    rt = Runtime(observers=list(observers), obs=obs, provenance=provenance)
     mem = SharedArray(rt, "x", program.num_locs)
     registry: List = []  # wild mode: all handles in creation order
 

@@ -34,7 +34,12 @@ which is checked in up to two modes:
 Failures are triaged by deduplicated signature, minimized with the
 hypothesis-free ddmin shrinker (:mod:`repro.testing.shrinker`), printed as
 pretty programs, and optionally written as regression-corpus JSON entries
-(:mod:`repro.testing.codec`) for ``tests/corpus/``.
+(:mod:`repro.testing.codec`) for ``tests/corpus/``.  When a minimized
+scoped repro is racy under the DTRG detector, triage reruns it with race
+provenance enabled and prints a compact witness line per race (the
+non-ordering certificate from ``explain_precede``); with ``--corpus-dir``
+the full ``repro.race-witness-report/1`` JSON is written next to the
+corpus entry as ``<name>.witness.json``.
 
 Exit status: 0 = no failures, 1 = at least one failure, 2 = bad usage.
 """
@@ -186,6 +191,43 @@ def _run_live(
         observers.append(recorder)
     run_program(program, observers, scoped_handles=scoped, obs=obs)
     return det, (recorder.trace if recorder is not None else None)
+
+
+def _triage_witnesses(program: Program):
+    """Rerun ``program`` (scoped) under a provenance-enabled DTRG detector.
+
+    Returns ``(witnesses, provenance)`` — empty/None when the repro is not
+    racy under dtrg or does not complete (divergence repros may crash; the
+    triage layer must never turn a reported failure into a new one).
+    """
+    from repro.core.detector import DeterminacyRaceDetector
+    from repro.obs import RaceProvenance
+
+    provenance = RaceProvenance()
+    det = DeterminacyRaceDetector(provenance=provenance)
+    try:
+        run_program(program, [det], scoped_handles=True,
+                    provenance=provenance)
+    except Exception:
+        return [], None
+    return det.witnesses, provenance
+
+
+def _witness_line(witness) -> str:
+    """One-line triage summary of a witness certificate."""
+    cert = witness.certificate or {}
+    level0 = cert.get("level0", {})
+    search = cert.get("search")
+    if search is not None:
+        how = (f"VISIT exhausted after {len(search.get('expanded', []))} "
+               f"set(s), LSA chain {search.get('lsa_chain', [])}")
+    elif level0.get("preorder_pruned"):
+        how = "preorder prune"
+    else:
+        how = "level-0"
+    return (f"{witness.witness_id}: {witness.kind} on {witness.loc!r} "
+            f"({witness.prev_name} vs {witness.current_name}; "
+            f"PRECEDE false via {how})")
 
 
 def _diff_direction(got: Set, want: Set) -> str:
@@ -504,6 +546,16 @@ def write_corpus_entries(
             json.dump(entry_to_data(entry), fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"corpus entry written to {path}", file=out)
+        witnesses, _ = _triage_witnesses(program)
+        if witnesses:
+            from repro.obs import witness_report_data
+
+            wpath = corpus_dir / f"{name}.witness.json"
+            with open(wpath, "w") as fh:
+                json.dump(witness_report_data(witnesses, program=name),
+                          fh, sort_keys=True, indent=2)
+                fh.write("\n")
+            print(f"witness report written to {wpath}", file=out)
 
 
 # ---------------------------------------------------------------------- #
@@ -611,6 +663,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{size} stmts{minimized}] ---")
             print(f"    {failure.detail}")
             print(program)
+            if failure.mode == "scoped":
+                witnesses, _ = _triage_witnesses(program)
+                for witness in witnesses:
+                    print(f"    witness {_witness_line(witness)}")
         if args.corpus_dir:
             write_corpus_entries(failures, Path(args.corpus_dir))
         return 1

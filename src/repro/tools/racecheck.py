@@ -10,6 +10,8 @@ with the instrumented runtime:
                                   [--metrics] [--witness]
                                   [--perfetto out.json]
                                   [--metrics-json out-metrics.json]
+                                  [--explain] [--verify-witness]
+                                  [--witness-json out.json] [--html out.html]
 
 ``--perfetto`` records the run through :mod:`repro.obs` and writes a
 Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``:
@@ -20,6 +22,18 @@ companion counter/histogram registry (PRECEDE latency, ``_explore``
 frontier sizes, per-cell reader populations, cache hit rate per
 mutation-epoch window).  Either flag enables the instrumentation; the
 detailed DTRG/shadow hooks require ``--detector dtrg``.
+
+``--explain`` turns on race provenance (``--detector dtrg`` only): every
+spawn/get/read/write is attributed to its source call site by a bounded
+flight recorder, and each deduplicated race gets a machine-checkable
+witness — a non-ordering certificate reconstructed from the DTRG showing
+the interval labels, set representatives, LSA chain and exhausted VISIT
+frontier that prove ``PRECEDE`` is false both ways.  ``--witness-json``
+writes the certificates as ``repro.race-witness-report/1`` JSON (validated
+by ``python -m repro.obs.validate``), ``--html`` writes a self-contained
+HTML report, and ``--verify-witness`` independently confirms every witness
+against the brute-force transitive closure of the computation graph
+(exit 2 if any check fails).  Any of these flags implies ``--explain``.
 
 ``my_program.py`` must define ``def program(rt):`` (and may define
 ``def setup(rt):`` returning shared state passed as the second argument).
@@ -98,7 +112,29 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--metrics-json", metavar="FILE", dest="metrics_json",
                         help="write the observability counter/histogram "
                              "registry as JSON")
+    parser.add_argument("--explain", action="store_true",
+                        help="attribute accesses to source sites and print "
+                             "a non-ordering witness per race (dtrg only)")
+    parser.add_argument("--witness-json", metavar="FILE", dest="witness_json",
+                        help="write the race witnesses as JSON "
+                             "(implies --explain)")
+    parser.add_argument("--html", metavar="FILE",
+                        help="write a self-contained HTML race report "
+                             "(implies --explain)")
+    parser.add_argument("--verify-witness", action="store_true",
+                        dest="verify_witness",
+                        help="cross-check every witness against the "
+                             "brute-force computation graph "
+                             "(implies --explain; exit 2 on mismatch)")
     args = parser.parse_args(argv)
+
+    explain = (args.explain or args.witness_json is not None
+               or args.html is not None or args.verify_witness)
+    if explain and args.detector != "dtrg":
+        print("error: --explain/--witness-json/--html/--verify-witness "
+              "require --detector dtrg (witnesses are DTRG certificates)",
+              file=sys.stderr)
+        return 2
 
     try:
         namespace = runpy.run_path(args.program)
@@ -119,13 +155,20 @@ def main(argv: List[str] | None = None) -> int:
         obs = Observability(
             tracer=RingTracer() if args.perfetto else None
         )
-    if obs is not None and args.detector == "dtrg":
-        detector = DETECTORS[args.detector](policy=args.policy, obs=obs)
+    provenance = None
+    if explain:
+        from repro.obs import RaceProvenance
+
+        provenance = RaceProvenance()
+    if args.detector == "dtrg" and (obs is not None or provenance is not None):
+        detector = DETECTORS[args.detector](
+            policy=args.policy, obs=obs, provenance=provenance
+        )
     else:
         detector = DETECTORS[args.detector](policy=args.policy)
     observers: List = [detector]
     graph_builder = None
-    if args.dot or args.witness:
+    if args.dot or args.witness or args.verify_witness:
         graph_builder = GraphBuilder()
         observers.append(graph_builder)
     metrics = None
@@ -139,16 +182,47 @@ def main(argv: List[str] | None = None) -> int:
 
     def write_artifacts() -> None:
         """Flush whatever the observers recorded — also on aborted runs."""
+        witnesses = getattr(detector, "witnesses", None) or []
         if metrics is not None:
             snap = metrics.snapshot()
             print(f"\ntasks: {snap.num_tasks} "
                   f"({snap.num_future_tasks} futures), "
                   f"gets: {snap.num_gets} ({snap.num_nt_joins} non-tree), "
                   f"shared accesses: {snap.num_shared_accesses}")
-        if args.dot and graph_builder is not None:
+        dot_source = None
+        if graph_builder is not None and (args.dot or args.html):
+            dot_source = to_dot(
+                graph_builder.graph, title=args.program,
+                witnesses=witnesses if explain else None,
+            )
+        if args.dot and dot_source is not None:
             with open(args.dot, "w") as fh:
-                fh.write(to_dot(graph_builder.graph, title=args.program))
+                fh.write(dot_source)
             print(f"computation graph written to {args.dot}")
+        if args.witness_json:
+            import json
+
+            from repro.obs import witness_report_data
+
+            with open(args.witness_json, "w") as fh:
+                json.dump(
+                    witness_report_data(witnesses, program=args.program),
+                    fh, indent=2,
+                )
+            print(f"{len(witnesses)} witness(es) written to "
+                  f"{args.witness_json}")
+        if args.html:
+            from repro.obs import render_html_report
+
+            with open(args.html, "w") as fh:
+                fh.write(render_html_report(
+                    program=args.program,
+                    report=detector.report,
+                    witnesses=witnesses,
+                    provenance=provenance,
+                    dot_source=dot_source,
+                ))
+            print(f"HTML report written to {args.html}")
         if args.trace and recorder is not None:
             recorder.trace.save(args.trace)
             print(f"trace ({len(recorder.trace)} events) "
@@ -160,7 +234,7 @@ def main(argv: List[str] | None = None) -> int:
             obs.write_metrics(args.metrics_json)
             print(f"metrics written to {args.metrics_json}")
 
-    rt = Runtime(observers=observers, obs=obs)
+    rt = Runtime(observers=observers, obs=obs, provenance=provenance)
     setup = namespace.get("setup")
     try:
         if callable(setup):
@@ -184,7 +258,36 @@ def main(argv: List[str] | None = None) -> int:
         return 2
 
     print(detector.report.summary())
+
+    witnesses = getattr(detector, "witnesses", None) or []
+    if explain and witnesses:
+        from repro.obs import render_witness_text
+
+        print("\nrace witnesses (non-ordering certificates):")
+        for witness in witnesses:
+            print()
+            print(render_witness_text(witness))
+
+    verify_failed = False
+    if args.verify_witness and graph_builder is not None:
+        from repro.obs import confirm_witness
+
+        closure = ReachabilityClosure(graph_builder.graph)
+        for witness in witnesses:
+            ok = confirm_witness(
+                witness, graph_builder.graph, closure=closure
+            )
+            status = "confirmed" if ok else "REFUTED"
+            print(f"witness {witness.witness_id}: {status} against "
+                  "brute-force closure")
+            verify_failed = verify_failed or not ok
+
     write_artifacts()
+
+    if verify_failed:
+        print("error: witness verification failed — detector and "
+              "brute-force closure disagree", file=sys.stderr)
+        return 2
 
     if args.witness and graph_builder is not None and detector.report.has_races:
         closure = ReachabilityClosure(graph_builder.graph)

@@ -3,9 +3,9 @@
 from repro.core.races import AccessKind, Race, RaceReport
 
 
-def make(loc="x", kind=AccessKind.WRITE_WRITE, prev=1, cur=2):
+def make(loc="x", kind=AccessKind.WRITE_WRITE, prev=1, cur=2, **extra):
     return Race(loc=loc, kind=kind, prev_task=prev, current_task=cur,
-                prev_name=f"t{prev}", current_name=f"t{cur}")
+                prev_name=f"t{prev}", current_name=f"t{cur}", **extra)
 
 
 def test_report_collects_and_tracks_locations():
@@ -68,3 +68,30 @@ def test_iteration_order_is_insertion_order():
     report.add(first)
     report.add(second)
     assert list(report) == [first, second]
+
+
+def test_provenance_fields_default_inert():
+    """The optional site/witness fields change neither equality nor dedup."""
+    race = make()
+    assert race.prev_site is None
+    assert race.current_site is None
+    assert race.witness_id is None
+    report = RaceReport()
+    assert report.add(make())
+    with_sites = make(prev_site="prog.py:3 (worker)", witness_id="w0")
+    assert not report.add(with_sites)  # same pair → still deduplicated
+    assert with_sites == make()        # compare=False on the new fields
+
+
+def test_summary_is_stable_sorted_and_shows_sites():
+    """summary() renders races sorted by (loc, pair, kind) regardless of
+    detection order, and appends the site line only when sites exist."""
+    report = RaceReport()
+    report.add(make(loc="b", prev_site="prog.py:9 (main)"))
+    report.add(make(loc="a"))
+    text = report.summary()
+    assert text.index("'a'") < text.index("'b'")
+    assert "prev access at prog.py:9 (main)" in text
+    assert "current access at <unknown>" in text
+    # insertion order untouched — only the rendering sorts
+    assert [r.loc for r in report] == ["b", "a"]

@@ -214,6 +214,82 @@ def test_perfetto_written_even_when_program_crashes(tmp_path, capsys):
     assert any(e.get("cat") == "shadow" for e in data["traceEvents"])
 
 
+def test_explain_prints_sites_and_witness(racy_program, capsys):
+    assert main([racy_program, "--explain"]) == 1
+    out = capsys.readouterr().out
+    assert "prev access at" in out and "racy.py" in out
+    assert "race witnesses (non-ordering certificates):" in out
+    assert "witness w0: write-read race on ('data', 0)" in out
+    assert "PRECEDE(1, 0) = False" in out
+    assert "reverse direction" in out
+
+
+def test_explain_requires_dtrg(racy_program, capsys):
+    assert main([racy_program, "--explain", "--detector", "exact"]) == 2
+    assert "require --detector dtrg" in capsys.readouterr().err
+
+
+def test_witness_json_html_and_verification(racy_program, tmp_path, capsys):
+    import json
+
+    from repro.obs.validate import validate_witness_report
+
+    wjson = tmp_path / "witness.json"
+    html = tmp_path / "report.html"
+    dot = tmp_path / "g.dot"
+    code = main([racy_program, "--verify-witness",
+                 "--witness-json", str(wjson), "--html", str(html),
+                 "--dot", str(dot)])
+    assert code == 1  # races found, every witness confirmed
+    out = capsys.readouterr().out
+    assert "witness w0: confirmed against brute-force closure" in out
+
+    data = json.loads(wjson.read_text())
+    assert validate_witness_report(data) == []
+    assert data["schema"] == "repro.race-witness-report/1"
+    assert len(data["witnesses"]) == 1
+    assert data["witnesses"][0]["race"]["kind"] == "write-read"
+
+    page = html.read_text()
+    assert page.startswith("<!DOCTYPE html>")
+    assert "witness <code>w0</code>" in page
+    assert "Flight recorder" in page
+    assert "digraph" in page  # DOT source embedded
+
+    graph = dot.read_text()
+    assert "(racing)" in graph and "salmon" in graph
+
+
+def test_explain_off_dot_is_unchanged(racy_program, tmp_path):
+    """Without --explain the DOT output carries no witness overlay —
+    byte-identical to the pre-provenance renderer."""
+    plain = tmp_path / "plain.dot"
+    main([racy_program, "--dot", str(plain)])
+    assert "racing" not in plain.read_text()
+
+
+def test_html_report_on_clean_program(clean_program, tmp_path, capsys):
+    html = tmp_path / "clean.html"
+    assert main([clean_program, "--html", str(html)]) == 0
+    page = html.read_text()
+    assert "no determinacy races detected" in page
+
+
+def test_html_written_even_on_raise_abort(racy_program, tmp_path, capsys):
+    html = tmp_path / "abort.html"
+    wjson = tmp_path / "abort.json"
+    code = main([racy_program, "--policy", "raise", "--html", str(html),
+                 "--witness-json", str(wjson)])
+    assert code == 1
+    assert "aborted at first" in capsys.readouterr().out
+    assert html.exists() and "witness" in html.read_text()
+    import json
+
+    from repro.obs.validate import validate_witness_report
+
+    assert validate_witness_report(json.loads(wjson.read_text())) == []
+
+
 def test_metrics_json_without_detector_has_runtime_counters(
         clean_program, tmp_path, capsys):
     """Obs works with the baseline detectors too: runtime spans and

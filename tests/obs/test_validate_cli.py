@@ -1,0 +1,135 @@
+"""CLI robustness tests for ``python -m repro.obs.validate``.
+
+The contract: exit 0 on valid documents, exit 1 on *any* invalid input —
+including truncated/malformed JSON — with a pointed one-line message and
+never a traceback, and exit 2 only for usage errors / unreadable files.
+"""
+
+import json
+
+from repro.obs.validate import main as validate_main
+
+
+def test_truncated_json_exits_one_with_pointed_message(tmp_path, capsys):
+    bad = tmp_path / "truncated.json"
+    bad.write_text('{"traceEvents": [{"ph": "X", "name"')
+    assert validate_main([str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "not valid JSON" in err
+    assert str(bad) in err
+    assert "Traceback" not in err
+
+
+def test_empty_file_exits_one(tmp_path, capsys):
+    bad = tmp_path / "empty.json"
+    bad.write_text("")
+    assert validate_main([str(bad)]) == 1
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_unknown_phase_exits_one(tmp_path, capsys):
+    bad = tmp_path / "phase.json"
+    bad.write_text(json.dumps({"traceEvents": [
+        {"ph": "B", "name": "span", "pid": 1, "tid": 1, "ts": 0, "cat": "c"},
+    ]}))
+    assert validate_main([str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "bad phase 'B'" in err
+
+
+def test_non_monotonic_instant_ts_exits_one(tmp_path, capsys):
+    bad = tmp_path / "backwards.json"
+    bad.write_text(json.dumps({"traceEvents": [
+        {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 10.0,
+         "cat": "c", "s": "t"},
+        {"ph": "i", "name": "b", "pid": 1, "tid": 1, "ts": 5.0,
+         "cat": "c", "s": "t"},
+    ]}))
+    assert validate_main([str(bad)]) == 1
+    assert "goes backwards" in capsys.readouterr().err
+
+
+def test_instants_on_different_tracks_may_interleave(tmp_path, capsys):
+    ok = tmp_path / "tracks.json"
+    ok.write_text(json.dumps({"traceEvents": [
+        {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 10.0,
+         "cat": "c", "s": "t"},
+        {"ph": "i", "name": "b", "pid": 1, "tid": 2, "ts": 5.0,
+         "cat": "c", "s": "t"},
+    ]}))
+    assert validate_main([str(ok)]) == 0
+
+
+def test_nested_complete_spans_are_ts_exempt(tmp_path, capsys):
+    """X spans close inner-first, so emission order is not ts order."""
+    ok = tmp_path / "spans.json"
+    ok.write_text(json.dumps({"traceEvents": [
+        {"ph": "X", "name": "inner", "pid": 1, "tid": 1, "ts": 8.0,
+         "cat": "c", "dur": 1.0},
+        {"ph": "X", "name": "outer", "pid": 1, "tid": 1, "ts": 0.0,
+         "cat": "c", "dur": 10.0},
+    ]}))
+    assert validate_main([str(ok)]) == 0
+
+
+def test_valid_witness_report_exits_zero(tmp_path, capsys):
+    from repro.obs.provenance import RaceProvenance, witness_report_data
+    from repro.core.detector import DeterminacyRaceDetector
+    from repro.memory.shared import SharedArray
+    from repro.runtime.runtime import Runtime
+
+    prov = RaceProvenance()
+    det = DeterminacyRaceDetector(provenance=prov)
+    rt = Runtime(observers=[det], provenance=prov)
+
+    def program(rt):
+        data = SharedArray(rt, "d", 1)
+        f = rt.future(lambda: data.write(0, 1))
+        data.read(0)
+        f.get()
+
+    rt.run(program)
+    path = tmp_path / "witness.json"
+    path.write_text(json.dumps(witness_report_data(det.witnesses)))
+    assert validate_main([str(path)]) == 0
+    assert "valid witness report" in capsys.readouterr().out
+
+
+def test_witness_with_true_verdict_exits_one(tmp_path, capsys):
+    doc = {
+        "schema": "repro.race-witness-report/1",
+        "witnesses": [{
+            "schema": "repro.race-witness/1",
+            "witness_id": "w0",
+            "race": {"loc": ["x", 0], "kind": "write-read",
+                     "prev_task": 1, "current_task": 0},
+            "certificate": {
+                "verdict": True,  # an *ordering* is not a race witness
+                "a_label": {"pre": 1, "post": 2},
+                "b_label": {"pre": 0, "post": 3},
+                "a_set": {"rep": 1, "nt": [], "members": [1]},
+                "b_set": {"rep": 0, "nt": [], "members": [0]},
+                "level0": {"same_task": False},
+                "search": None,
+            },
+        }],
+    }
+    path = tmp_path / "bad_witness.json"
+    path.write_text(json.dumps(doc))
+    assert validate_main([str(path)]) == 1
+    assert "'verdict' must be false" in capsys.readouterr().err
+
+
+def test_witness_missing_certificate_exits_one(tmp_path, capsys):
+    doc = {"schema": "repro.race-witness/1", "witness_id": "w0",
+           "race": {"loc": 0, "kind": "write-write",
+                    "prev_task": 1, "current_task": 2}}
+    path = tmp_path / "no_cert.json"
+    path.write_text(json.dumps(doc))
+    assert validate_main([str(path)]) == 1
+    assert "certificate" in capsys.readouterr().err
+
+
+def test_missing_file_still_exits_two(tmp_path, capsys):
+    assert validate_main([str(tmp_path / "nope.json")]) == 2
+    assert validate_main([]) == 2
