@@ -1,0 +1,290 @@
+"""Frozen array-backed snapshot of a finished DTRG.
+
+The live :class:`~repro.core.reachability.DynamicTaskReachabilityGraph` is
+an object graph — one :class:`TaskNode` per task, :class:`SetData` records
+hanging off union-find roots, Python lists of node pointers for the
+non-tree edges.  That layout is ideal for on-the-fly construction but
+wrong for the two-phase parallel checker (:mod:`repro.core.parallel_check`):
+pickling it walks millions of objects, and queries chase pointers.
+
+:class:`DTRGSnapshot` compacts the *final* state of a finished graph into
+flat ``array('q')`` columns under a dense task remap:
+
+=============  ==========================================================
+column         meaning (indexed by dense task id unless noted)
+=============  ==========================================================
+``pre``        task preorder value (immutable once assigned)
+``post``       task postorder value (final, or the temporary left in a
+               partial trace — containment stays ancestor-correct either
+               way, see :mod:`repro.core.labels`)
+``parent``     spawn-tree parent index, ``-1`` for the root
+``is_future``  1 for future tasks (bytes, not ``'q'``)
+``rep``        union-find representative index (path-compressed away:
+               the frozen partition needs no ``find``)
+``label_pre``  set label, meaningful at ``rep`` slots: the pre/post of
+``label_post``   the set's root-most member's interval
+``max_pre``    largest member preorder of the set (at ``rep`` slots)
+``lsa``        lowest-significant-ancestor *task* index (at ``rep``
+               slots), ``-1`` for none
+``nt_start``   CSR row pointers (length n+1) into ``nt_prod``
+``nt_prod``    non-tree predecessor task indices, per-set insertion order
+=============  ==========================================================
+
+:meth:`precede` reimplements Algorithm 10 over the columns — same level-0
+checks, preorder prune, memoized backward VISIT search and LSA-chain walk
+as the live graph's default strategy — and is *allocation-free in steady
+state*: the visited set is an integer-stamp array reused across queries
+(bumping one query id instead of clearing), and the frozen partition
+replaces every ``find`` with one indexed load.  Verdict bit-equivalence
+against the live graph on all task pairs is property-tested over the fuzz
+corpus (``tests/properties/test_parallel_equivalence.py``).
+
+The snapshot reflects the graph's **final** state only.  Replaying shadow
+checks against it is *not* equivalent to online detection — end-finish
+merges performed after an access can order task pairs that were unordered
+when the access happened (races would be masked).  The parallel checker
+therefore pairs the snapshot's immutable columns (``pre``/``post``,
+identity, future flags) with an epoch-stamped mutation log
+(:class:`repro.core.parallel_check.StructureLog`) that lets each worker
+advance a union-find replica to the exact epoch of every access.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Hashable, List
+
+__all__ = ["DTRGSnapshot"]
+
+_ARRAY_COLUMNS = (
+    "pre", "post", "parent", "rep",
+    "label_pre", "label_post", "max_pre", "lsa",
+    "nt_start", "nt_prod",
+)
+
+
+class DTRGSnapshot:
+    """Immutable flat-column view of a finished DTRG (see module docstring).
+
+    Build with :meth:`freeze`; query with :meth:`precede` (task keys, like
+    the live graph) or :meth:`precede_idx` (dense indices, the parallel
+    workers' entry point for static columns).  Pickles cheaply: the payload
+    is the raw array buffers plus the key list (the key→index map is
+    rebuilt on unpickle).
+    """
+
+    __slots__ = _ARRAY_COLUMNS + (
+        "keys", "index", "is_future",
+        "_stamp", "_qid", "num_precede_queries", "num_visits",
+    )
+
+    def __init__(self) -> None:  # populated by freeze() / __setstate__
+        self.keys: List[Hashable] = []
+        self.index = {}
+        self.is_future = bytearray()
+        for col in _ARRAY_COLUMNS:
+            setattr(self, col, array("q"))
+        self._stamp = array("q")
+        self._qid = 0
+        self.num_precede_queries = 0
+        self.num_visits = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def freeze(cls, dtrg) -> "DTRGSnapshot":
+        """Compact ``dtrg`` (a finished ``DynamicTaskReachabilityGraph``)
+        into a snapshot.
+
+        O(n + e) with one ``find`` per task; the source graph is left
+        untouched (freezing bumps no counters and performs no unions —
+        only path reads).  The snapshot mirrors the default query strategy
+        (intervals + memoized VISIT + LSA); verdicts are strategy-invariant,
+        so freezing an ablated graph still reproduces its verdicts.
+        """
+        snap = cls()
+        nodes = list(dtrg._nodes.values())  # dict preserves creation order
+        for node in nodes:
+            if not node.label.final:
+                raise ValueError(
+                    f"cannot freeze: task {node.key!r} has not terminated "
+                    "(temporary postorder) — the snapshot reflects the "
+                    "final state of a finished graph only"
+                )
+        n = len(nodes)
+        index = {node.key: i for i, node in enumerate(nodes)}
+        snap.keys = [node.key for node in nodes]
+        snap.index = index
+        snap.is_future = bytearray(
+            1 if node.is_future else 0 for node in nodes
+        )
+        snap.pre = array("q", (node.label.pre for node in nodes))
+        snap.post = array("q", (node.label.post for node in nodes))
+        snap.parent = array(
+            "q",
+            (
+                index[node.parent.key] if node.parent is not None else -1
+                for node in nodes
+            ),
+        )
+        sets = dtrg._sets
+        rep = array("q", bytes(8 * n))
+        label_pre = array("q", bytes(8 * n))
+        label_post = array("q", bytes(8 * n))
+        max_pre = array("q", bytes(8 * n))
+        lsa = array("q", [-1]) * n
+        nt_lists: List[list] = [()] * n
+        seen_roots = {}
+        for i, node in enumerate(nodes):
+            root, data = sets.root_and_metadata(node)
+            r = seen_roots.get(root.key)
+            if r is None:
+                r = index[root.key]
+                seen_roots[root.key] = r
+                label_pre[r] = data.label.pre
+                label_post[r] = data.label.post
+                max_pre[r] = data.max_pre
+                lsa[r] = index[data.lsa.key] if data.lsa is not None else -1
+                nt_lists[r] = [index[p.key] for p in data.nt]
+            rep[i] = r
+        nt_start = array("q", bytes(8 * (n + 1)))
+        total = 0
+        for i in range(n):
+            nt_start[i] = total
+            total += len(nt_lists[i])
+        nt_start[n] = total
+        nt_prod = array("q", bytes(8 * total))
+        pos = 0
+        for i in range(n):
+            for p in nt_lists[i]:
+                nt_prod[pos] = p
+                pos += 1
+        snap.rep = rep
+        snap.label_pre = label_pre
+        snap.label_post = label_post
+        snap.max_pre = max_pre
+        snap.lsa = lsa
+        snap.nt_start = nt_start
+        snap.nt_prod = nt_prod
+        snap._stamp = array("q", bytes(8 * n))
+        snap._qid = 0
+        return snap
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_non_tree_edges(self) -> int:
+        return len(self.nt_prod)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the numeric columns (excludes keys/index)."""
+        total = len(self.is_future)
+        for col in _ARRAY_COLUMNS:
+            a = getattr(self, col)
+            total += len(a) * a.itemsize
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Pickling (ship to spawn-method workers)                            #
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        state = {col: getattr(self, col) for col in _ARRAY_COLUMNS}
+        state["keys"] = self.keys
+        state["is_future"] = self.is_future
+        return state
+
+    def __setstate__(self, state) -> None:
+        for col in _ARRAY_COLUMNS:
+            setattr(self, col, state[col])
+        self.keys = state["keys"]
+        self.is_future = state["is_future"]
+        self.index = {key: i for i, key in enumerate(self.keys)}
+        self._stamp = array("q", bytes(8 * len(self.keys)))
+        self._qid = 0
+        self.num_precede_queries = 0
+        self.num_visits = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries (Algorithm 10 over the final state)                        #
+    # ------------------------------------------------------------------ #
+    def precede(self, a_key: Hashable, b_key: Hashable) -> bool:
+        """``PRECEDE(A, B)`` on the frozen final state, by task key."""
+        return self.precede_idx(self.index[a_key], self.index[b_key])
+
+    def precede_idx(self, ia: int, ib: int) -> bool:
+        """``PRECEDE`` by dense index — the allocation-free hot path."""
+        self.num_precede_queries += 1
+        if ia == ib:
+            return True
+        rep = self.rep
+        ra, rb = rep[ia], rep[ib]
+        if ra == rb:
+            return True
+        la_pre = self.label_pre[ra]
+        la_post = self.label_post[ra]
+        if la_pre <= self.label_pre[rb] and self.label_post[rb] <= la_post:
+            return True
+        if la_pre > self.max_pre[rb]:
+            return False
+        if self.nt_start[rb] == self.nt_start[rb + 1] and self.lsa[rb] < 0:
+            return False
+        self._qid += 1
+        qid = self._qid
+        self._stamp[rb] = qid
+        self.num_visits += 1
+        return self._explore(ra, la_pre, la_post, rb, qid)
+
+    def _visit(
+        self, ra: int, la_pre: int, la_post: int, b_idx: int, qid: int
+    ) -> bool:
+        rb = self.rep[b_idx]
+        if rb == ra:
+            return True
+        if la_pre <= self.label_pre[rb] and self.label_post[rb] <= la_post:
+            return True
+        if la_pre > self.max_pre[rb]:
+            return False
+        stamp = self._stamp
+        if stamp[rb] == qid:
+            return False
+        stamp[rb] = qid
+        self.num_visits += 1
+        return self._explore(ra, la_pre, la_post, rb, qid)
+
+    def _explore(
+        self, ra: int, la_pre: int, la_post: int, rb: int, qid: int
+    ) -> bool:
+        nt_start, nt_prod = self.nt_start, self.nt_prod
+        visit = self._visit
+        for i in range(nt_start[rb], nt_start[rb + 1]):
+            if visit(ra, la_pre, la_post, nt_prod[i], qid):
+                return True
+        stamp, lsa, rep = self._stamp, self.lsa, self.rep
+        anc = lsa[rb]
+        while anc >= 0:
+            r = rep[anc]
+            if stamp[r] != qid:
+                stamp[r] = qid
+                self.num_visits += 1
+                for i in range(nt_start[r], nt_start[r + 1]):
+                    if visit(ra, la_pre, la_post, nt_prod[i], qid):
+                        return True
+            anc = lsa[r]
+        return False
+
+    def is_ancestor_idx(self, ia: int, ib: int) -> bool:
+        """Spawn-tree ancestor-or-self test via task-level intervals."""
+        return (
+            self.pre[ia] <= self.pre[ib] and self.post[ib] <= self.post[ia]
+        )
+
+
+if sys.maxsize < 2**63 - 1:  # pragma: no cover - 32-bit guard
+    raise ImportError("DTRGSnapshot requires 64-bit signed array('q') slots")

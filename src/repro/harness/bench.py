@@ -23,27 +23,51 @@ Schema (``repro.bench/1``)::
        "slowdown_vs_seq": ..., "slowdown_vs_instrumented": ...,
        "races": ..., "structural": {...}, "detector_perf": {...}}, ...]}
 
+``--parallel`` switches to the two-phase sharded checker benchmark
+(``docs/ALGORITHM.md`` §12) and writes ``BENCH_PR5.json`` by default:
+each workload's trace is recorded once, then checked at every ``--jobs``
+count, recording per-count wall times, speedup over jobs=1, the
+snapshot-freeze overhead (seconds and bytes/task), and whether every
+count reproduced the jobs=1 summary and counters byte-for-byte
+(``identical_across_jobs`` — the determinism contract)::
+
+    repro-bench --parallel --scale small --jobs 1,2,4 --output BENCH_PR5.json
+
+Schema (``repro.bench.parallel/1``)::
+
+    {"schema": "repro.bench.parallel/1", "scale": ..., "repeats": ...,
+     "cpu_count": ..., "tag": ..., "workloads": [{"name": ...,
+       "num_events": ..., "num_access_events": ..., "num_tasks": ...,
+       "races": ..., "freeze_seconds": ..., "snapshot_bytes": ...,
+       "bytes_per_task": ..., "identical_across_jobs": ...,
+       "jobs": [{"jobs": 1, "seconds": ..., "check_seconds": ...,
+                 "freeze_seconds": ..., "speedup": ...}, ...]}, ...]}
+
 Exit status: 0 on success, 1 if any workload failed verification or
-raised, 2 on usage errors.
+raised (or, with ``--parallel``, broke the determinism contract), 2 on
+usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import asdict
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.harness.runner import (
     BENCHMARKS,
     EXTENDED_BENCHMARKS,
     run_benchmark,
+    run_parallel_benchmark,
 )
 
-__all__ = ["bench_data", "main"]
+__all__ = ["bench_data", "parallel_bench_data", "main"]
 
 BENCH_SCHEMA = "repro.bench/1"
+PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
 
 
 def _workload_data(result) -> dict:
@@ -120,15 +144,114 @@ def bench_data(
     return data
 
 
+def parallel_bench_data(
+    names: List[str],
+    *,
+    scale: str = "tiny",
+    jobs: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+    verify: bool = True,
+    backend: Optional[str] = None,
+    tag: Optional[str] = None,
+    out=None,
+) -> dict:
+    """Run ``names`` through the sharded checker and assemble the
+    ``repro.bench.parallel/1`` document.  ``cpu_count`` is recorded so a
+    reader can judge the speedup numbers honestly — on a 1-core box the
+    fan-out cannot beat jobs=1 and the artifact says so."""
+    workloads: List[dict] = []
+    for name in names:
+        try:
+            result = run_parallel_benchmark(
+                name, scale, jobs=tuple(jobs), repeats=repeats,
+                verify=verify, backend=backend,
+            )
+        except Exception as exc:
+            print(f"bench {name}: FAILED — {type(exc).__name__}: {exc}",
+                  file=out or sys.stderr)
+            workloads.append({
+                "name": name,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            continue
+        workloads.append({
+            "name": name,
+            "scale": result.scale,
+            "num_events": result.num_events,
+            "num_access_events": result.num_access_events,
+            "num_tasks": result.num_tasks,
+            "num_locations": result.num_locations,
+            "races": result.races,
+            "freeze_seconds": result.freeze_seconds,
+            "snapshot_bytes": result.snapshot_bytes,
+            "bytes_per_task": round(result.bytes_per_task, 2),
+            "identical_across_jobs": result.identical,
+            "jobs": [
+                {
+                    "jobs": n,
+                    "seconds": result.per_jobs[n]["seconds"],
+                    "check_seconds": result.per_jobs[n]["check_seconds"],
+                    "freeze_seconds": result.per_jobs[n]["freeze_seconds"],
+                    "speedup": round(result.per_jobs[n]["speedup"], 4),
+                }
+                for n in jobs
+            ],
+        })
+        fastest = max(jobs, key=lambda n: result.per_jobs[n]["speedup"])
+        print(
+            f"bench {name}: {result.num_access_events} accesses, "
+            f"jobs=1 {result.per_jobs[jobs[0]]['seconds'] * 1e3:.1f} ms, "
+            f"best x{result.per_jobs[fastest]['speedup']:.2f} at "
+            f"jobs={fastest}, freeze {result.freeze_seconds * 1e3:.2f} ms "
+            f"({result.bytes_per_task:.0f} B/task), "
+            f"identical={result.identical}",
+            file=out,
+        )
+    data = {
+        "schema": PARALLEL_BENCH_SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "workloads": workloads,
+    }
+    if tag is not None:
+        data["tag"] = tag
+    return data
+
+
+def _parse_jobs_list(text: str) -> List[int]:
+    try:
+        jobs = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated job counts, got {text!r}")
+    if not jobs or any(n < 1 for n in jobs):
+        raise argparse.ArgumentTypeError(
+            f"job counts must be positive, got {text!r}")
+    return jobs
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--scale", default="tiny",
-                        choices=("tiny", "small", "medium", "large"))
+                        choices=("tiny", "small", "table2"))
     parser.add_argument("--repeats", type=int, default=1)
-    parser.add_argument("--output", metavar="FILE", default="BENCH_PR4.json")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="artifact path (default BENCH_PR4.json, or "
+                             "BENCH_PR5.json with --parallel)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="benchmark the two-phase sharded checker "
+                             "instead of the live detector")
+    parser.add_argument("--jobs", type=_parse_jobs_list, default=[1, 2, 4],
+                        metavar="N,N,...",
+                        help="job counts for --parallel (default 1,2,4)")
+    parser.add_argument("--parallel-backend", dest="parallel_backend",
+                        default=None,
+                        choices=("auto", "fork", "spawn", "inline"),
+                        help="worker dispatch for --parallel")
     parser.add_argument("--tag", default=None,
                         help="free-form label recorded in the document "
                              "(e.g. a commit hash)")
@@ -151,20 +274,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         names = args.only
 
-    data = bench_data(
-        names, scale=args.scale, repeats=args.repeats,
-        verify=not args.no_verify, tag=args.tag,
-    )
-    with open(args.output, "w") as fh:
+    if args.parallel:
+        output = args.output or "BENCH_PR5.json"
+        data = parallel_bench_data(
+            names, scale=args.scale, jobs=args.jobs, repeats=args.repeats,
+            verify=not args.no_verify, backend=args.parallel_backend,
+            tag=args.tag,
+        )
+    else:
+        output = args.output or "BENCH_PR4.json"
+        data = bench_data(
+            names, scale=args.scale, repeats=args.repeats,
+            verify=not args.no_verify, tag=args.tag,
+        )
+    with open(output, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
     failed = [w["name"] for w in data["workloads"] if "error" in w]
-    print(f"{len(data['workloads'])} workload(s) written to {args.output}")
+    nondeterministic = [
+        w["name"] for w in data["workloads"]
+        if not w.get("identical_across_jobs", True)
+    ]
+    print(f"{len(data['workloads'])} workload(s) written to {output}")
+    if nondeterministic:
+        print(f"error: non-identical results across job counts: "
+              f"{', '.join(nondeterministic)}", file=sys.stderr)
     if failed:
         print(f"error: {len(failed)} workload(s) failed: "
               f"{', '.join(failed)}", file=sys.stderr)
-        return 1
-    return 0
+    return 1 if failed or nondeterministic else 0
 
 
 if __name__ == "__main__":

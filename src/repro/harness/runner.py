@@ -35,9 +35,11 @@ from repro.workloads.common import run_instrumented
 __all__ = [
     "BenchmarkDef",
     "BenchmarkResult",
+    "ParallelBenchResult",
     "BENCHMARKS",
     "EXTENDED_BENCHMARKS",
     "run_benchmark",
+    "run_parallel_benchmark",
 ]
 
 
@@ -138,6 +140,128 @@ class BenchmarkResult:
             "Slowdown/Instr": round(self.slowdown_vs_instrumented, 2),
         })
         return row
+
+
+@dataclass
+class ParallelBenchResult:
+    """One workload checked by the two-phase sharded checker at several
+    job counts (``docs/ALGORITHM.md`` §12).
+
+    ``per_jobs`` maps each job count to its best-of-``repeats`` wall
+    times: ``seconds`` is the full check (build + freeze + fan-out +
+    merge), ``check_seconds`` the fan-out stage alone, ``speedup`` is
+    relative to the jobs=1 ``seconds``.  ``identical`` records whether
+    every job count reproduced the jobs=1 ``summary()`` text and
+    ``perf_stats`` byte-for-byte — the determinism contract, asserted by
+    the caller, not here, so a violation still lands in the artifact.
+    """
+
+    name: str
+    scale: str
+    num_events: int
+    num_access_events: int
+    num_tasks: int
+    num_locations: int
+    races: int
+    freeze_seconds: float
+    snapshot_bytes: int
+    bytes_per_task: float
+    identical: bool
+    per_jobs: Dict[int, Dict[str, float]]
+
+    def speedup(self, jobs: int) -> float:
+        base = self.per_jobs.get(1, {}).get("seconds", 0.0)
+        ours = self.per_jobs.get(jobs, {}).get("seconds", 0.0)
+        return base / ours if ours else 0.0
+
+
+def run_parallel_benchmark(
+    name: str,
+    scale: str = "small",
+    *,
+    jobs: tuple = (1, 2, 4),
+    repeats: int = 1,
+    verify: bool = True,
+    backend: Optional[str] = None,
+) -> ParallelBenchResult:
+    """Record one workload's trace, then check it at each job count.
+
+    The workload runs **once** with only a trace recorder attached
+    (phase 1); every job count then re-checks the same recorded stream
+    (phase 2), so the comparison isolates checker throughput from
+    workload execution.  Wall times are best-of-``repeats`` per job
+    count, like :func:`run_benchmark`.
+    """
+    from repro.core.parallel_check import check_trace_parallel
+    from repro.memory.tracer import TraceRecorder
+
+    bench = BENCHMARKS.get(name) or EXTENDED_BENCHMARKS[name]
+    params = bench.params(scale)
+
+    recorder = TraceRecorder()
+    run = run_instrumented(
+        lambda rt: bench.parallel(rt, params),
+        detect=False,
+        extra_observers=(recorder,),
+    )
+    if verify:
+        bench.verify(params, run.result)
+    trace = recorder.trace
+
+    golden_summary: Optional[str] = None
+    golden_perf: Optional[Dict[str, Any]] = None
+    identical = True
+    per_jobs: Dict[int, Dict[str, float]] = {}
+    result = None
+    for n in jobs:
+        best_total = float("inf")
+        best_check = float("inf")
+        best_freeze = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = check_trace_parallel(trace, jobs=n, backend=backend)
+            wall = time.perf_counter() - start
+            best_total = min(best_total, wall)
+            best_check = min(
+                best_check, result.timings["check_seconds"]
+            )
+            best_freeze = min(
+                best_freeze, result.timings["freeze_seconds"]
+            )
+        assert result is not None
+        if golden_summary is None:
+            golden_summary = result.summary()
+            golden_perf = result.perf_stats
+        elif (result.summary() != golden_summary
+              or result.perf_stats != golden_perf):
+            identical = False
+        per_jobs[n] = {
+            "seconds": best_total,
+            "check_seconds": best_check,
+            "freeze_seconds": best_freeze,
+        }
+    assert result is not None
+    base = per_jobs.get(jobs[0], {}).get("seconds", 0.0)
+    for n in jobs:
+        row = per_jobs[n]
+        row["speedup"] = base / row["seconds"] if row["seconds"] else 0.0
+    snapshot_bytes = result.snapshot.nbytes
+    return ParallelBenchResult(
+        name=name,
+        scale=scale,
+        num_events=result.num_events,
+        num_access_events=result.num_access_events,
+        num_tasks=result.num_tasks,
+        num_locations=result.num_locations,
+        races=len(result.races),
+        freeze_seconds=per_jobs[jobs[0]]["freeze_seconds"],
+        snapshot_bytes=snapshot_bytes,
+        bytes_per_task=(
+            snapshot_bytes / result.num_tasks if result.num_tasks else 0.0
+        ),
+        identical=identical,
+        per_jobs=per_jobs,
+    )
 
 
 def run_benchmark(

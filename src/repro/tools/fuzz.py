@@ -100,6 +100,11 @@ ABLATIONS = {
 }
 #: Detectors exercised in wild mode (no refusal semantics there).
 WILD = (ORACLE,) + GENERAL
+#: Stats row for the two-phase sharded checker (``--jobs N``, N > 1):
+#: per scoped seed it re-checks the recorded trace at jobs ∈ {1, N} and
+#: must reproduce the sequential dtrg racy set *and* byte-identical
+#: ``RaceReport.summary()`` text at every job count.
+PARALLEL_NAME = "dtrg[parallel]"
 
 
 def _make_detector(name: str, obs=None):
@@ -152,7 +157,10 @@ class FuzzStats:
         row[key] += amount
 
     def detector_rows(self) -> List[Dict[str, object]]:
-        order = (ORACLE,) + GENERAL + RESTRICTED + tuple(ABLATIONS)
+        order = (
+            (ORACLE,) + GENERAL + RESTRICTED + tuple(ABLATIONS)
+            + (PARALLEL_NAME,)
+        )
         rows = []
         for name in order:
             row = self.per_detector.get(name)
@@ -266,6 +274,27 @@ def _replay_predicate(name: str, scoped: bool) -> Callable[[Program], bool]:
     return holds
 
 
+def _parallel_predicate(jobs: int) -> Callable[[Program], bool]:
+    """Reproduction check for a sequential/parallel checker divergence."""
+
+    def holds(candidate: Program) -> bool:
+        from repro.core.parallel_check import check_trace_parallel
+
+        try:
+            live, trace = _run_live(
+                "dtrg", candidate, scoped=True, record=True
+            )
+            sequential = DETECTORS["dtrg"]()
+            replay_trace(trace, [sequential])
+            result = check_trace_parallel(trace, jobs=jobs)
+        except Exception:
+            return False
+        return (set(result.racy_locations) != _verdict(live)
+                or result.summary() != sequential.report.summary())
+
+    return holds
+
+
 def _crash_predicate(
     name: str, exc_type: type, scoped: bool
 ) -> Callable[[Program], bool]:
@@ -288,12 +317,20 @@ def check_seed(
     modes: Sequence[str] = ("scoped", "wild"),
     stats: Optional[FuzzStats] = None,
     obs=None,
+    jobs: int = 1,
 ) -> List[FuzzFailure]:
     """Differentially check one program; returns un-shrunk failures.
 
     ``obs`` (an :class:`repro.obs.Observability`) instruments the scoped
     ``dtrg`` run only — one detector's trace per seed keeps the event
     stream readable, and verdict comparisons are obs-independent.
+
+    ``jobs`` > 1 adds a parallel-parity leg per scoped seed: the recorded
+    trace is re-checked by the two-phase sharded checker
+    (:func:`repro.core.parallel_check.check_trace_parallel`) at jobs ∈
+    {1, ``jobs``}, and any deviation from the live dtrg racy set or from
+    the sequential replay's ``summary()`` text is a
+    ``parallel-divergence`` failure.
     """
     stats = stats if stats is not None else FuzzStats()
     failures: List[FuzzFailure] = []
@@ -366,6 +403,32 @@ def check_seed(
                      f"scoped:replay:{name}",
                      f"live {sorted(got, key=repr)} vs replay "
                      f"{sorted(_verdict(replayed), key=repr)}")
+            if name == "dtrg" and jobs > 1:
+                from repro.core.parallel_check import check_trace_parallel
+
+                seq_summary = replayed.report.summary()
+                for n in (1, jobs):
+                    stats.tally(PARALLEL_NAME, "runs")
+                    try:
+                        result = check_trace_parallel(trace, jobs=n)
+                    except Exception as exc:
+                        stats.tally(PARALLEL_NAME, "crashes")
+                        fail("scoped", "crash", PARALLEL_NAME,
+                             f"scoped:parallel-crash:{type(exc).__name__}",
+                             f"jobs={n} raised "
+                             f"{type(exc).__name__}: {exc}")
+                        continue
+                    par = set(result.racy_locations)
+                    if par:
+                        stats.tally(PARALLEL_NAME, "racy")
+                    if par != got or result.summary() != seq_summary:
+                        stats.tally(PARALLEL_NAME, "divergences")
+                        fail("scoped", "parallel-divergence", PARALLEL_NAME,
+                             f"scoped:parallel:{n}",
+                             f"jobs={n} {sorted(par, key=repr)} vs dtrg "
+                             f"{sorted(got, key=repr)} "
+                             f"(summary match: "
+                             f"{result.summary() == seq_summary})")
 
     if "wild" in modes:
         verdicts: Dict[str, Set] = {}
@@ -419,7 +482,13 @@ def check_seed(
 
 def _shrink_failure(failure: FuzzFailure, budget: int) -> None:
     scoped = failure.mode == "scoped"
-    if failure.kind == "divergence":
+    if failure.kind == "parallel-divergence":
+        predicate = _parallel_predicate(
+            int(failure.signature.rsplit(":", 1)[-1])
+        )
+    elif failure.detector == PARALLEL_NAME:
+        return  # parallel-crash repros are kept unminimized
+    elif failure.kind == "divergence":
         predicate = _divergence_predicate(failure.detector, scoped)
     elif failure.kind == "replay-divergence":
         predicate = _replay_predicate(failure.detector, scoped)
@@ -446,6 +515,7 @@ def fuzz_range(
     verbose: bool = False,
     out=None,
     obs=None,
+    jobs: int = 1,
 ) -> Tuple[FuzzStats, List[FuzzFailure]]:
     """Fuzz ``seeds``; returns stats and signature-deduplicated failures."""
     generator_kwargs = generator_kwargs or {}
@@ -457,7 +527,7 @@ def fuzz_range(
         stats.programs += 1
         stats.statements += count_stmts(program.body)
         for failure in check_seed(
-            seed, program, modes=modes, stats=stats, obs=obs
+            seed, program, modes=modes, stats=stats, obs=obs, jobs=jobs
         ):
             if verbose or failure.signature not in unique:
                 print(f"[seed {failure.seed}] {failure.signature}: "
@@ -599,6 +669,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write minimized repros as corpus JSON entries")
     parser.add_argument("--replay-corpus", metavar="DIR",
                         help="replay a regression corpus instead of fuzzing")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="N > 1 adds a parallel-parity leg per scoped "
+                             "seed: the sharded checker must reproduce the "
+                             "dtrg races and summary at jobs 1 and N")
     parser.add_argument("--perfetto", metavar="FILE",
                         help="write a Chrome trace of the scoped dtrg runs")
     parser.add_argument("--metrics-json", metavar="FILE", dest="metrics_json",
@@ -644,6 +718,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fail_fast=args.fail_fast,
         verbose=args.verbose,
         obs=obs,
+        jobs=args.jobs,
     )
 
     print(render_table(stats.detector_rows()))

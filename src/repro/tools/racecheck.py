@@ -8,6 +8,8 @@ with the instrumented runtime:
                                   [--policy collect|raise]
                                   [--dot graph.dot] [--trace out.trace]
                                   [--metrics] [--witness]
+                                  [--jobs N] [--parallel-backend auto|fork|
+                                   spawn|inline]
                                   [--perfetto out.json]
                                   [--metrics-json out-metrics.json]
                                   [--explain] [--verify-witness]
@@ -34,6 +36,17 @@ by ``python -m repro.obs.validate``), ``--html`` writes a self-contained
 HTML report, and ``--verify-witness`` independently confirms every witness
 against the brute-force transitive closure of the computation graph
 (exit 2 if any check fails).  Any of these flags implies ``--explain``.
+
+``--jobs N`` (N > 1) switches to the two-phase sharded checker: the
+program runs once with only a :class:`~repro.memory.tracer.TraceRecorder`
+attached (near-zero detection overhead), then the recorded stream is
+checked by ``N`` worker processes over a frozen array-backed DTRG
+snapshot (``docs/ALGORITHM.md`` §12).  The race list, the printed
+summary and the exit code are bit-identical to the sequential
+``--detector dtrg`` run.  Post-hoc checking cannot abort the program at
+the first race and has no live DTRG to certify witnesses from, so
+``--jobs`` rejects ``--policy raise`` and the ``--explain`` family;
+``--detector`` must be ``dtrg``.
 
 ``my_program.py`` must define ``def program(rt):`` (and may define
 ``def setup(rt):`` returning shared state passed as the second argument).
@@ -69,7 +82,8 @@ from repro.core.detector import DeterminacyRaceDetector
 from repro.core.exact import ExactDetector
 from repro.graph import GraphBuilder, ReachabilityClosure, to_dot
 from repro.harness.metrics import MetricsCollector
-from repro.memory.tracer import TraceRecorder
+from repro.core.events import ExecutionObserver
+from repro.memory.tracer import TraceRecorder, replay_trace_parallel
 from repro.runtime.errors import RaceError, UnsupportedConstructError
 from repro.runtime.parallel import demonstrate_nondeterminism
 from repro.runtime.runtime import Runtime
@@ -86,6 +100,19 @@ DETECTORS = {
     "vector-clock": VectorClockDetector,
     "brute-force": BruteForceDetector,
 }
+
+
+class _NameCapture(ExecutionObserver):
+    """Record live task names so parallel races print like the live run."""
+
+    def __init__(self) -> None:
+        self.names = {}
+
+    def on_init(self, main_task) -> None:
+        self.names[main_task.tid] = main_task.name
+
+    def on_task_create(self, parent, child) -> None:
+        self.names[child.tid] = child.name
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -106,6 +133,15 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--witness", action="store_true",
                         help="print two schedules whose outcomes differ "
                              "for each racy location")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="check accesses with N worker processes via "
+                             "the two-phase sharded checker (dtrg only; "
+                             "identical races/summary/exit code)")
+    parser.add_argument("--parallel-backend", dest="parallel_backend",
+                        default=None,
+                        choices=("auto", "fork", "spawn", "inline"),
+                        help="worker dispatch for --jobs (default auto: "
+                             "fork where available, else spawn)")
     parser.add_argument("--perfetto", metavar="FILE",
                         help="write a Chrome trace-event JSON "
                              "(Perfetto/chrome://tracing)")
@@ -136,6 +172,25 @@ def main(argv: List[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    parallel = args.jobs > 1
+    if parallel:
+        if args.detector != "dtrg":
+            print("error: --jobs requires --detector dtrg (the sharded "
+                  "checker implements the DTRG algorithm)", file=sys.stderr)
+            return 2
+        if args.policy == "raise":
+            print("error: --jobs checks post-hoc and cannot abort at the "
+                  "first race; use --policy collect", file=sys.stderr)
+            return 2
+        if explain:
+            print("error: --jobs cannot certify witnesses (no live DTRG); "
+                  "drop --explain/--witness-json/--html/--verify-witness",
+                  file=sys.stderr)
+            return 2
+
     try:
         namespace = runpy.run_path(args.program)
     except Exception as exc:
@@ -160,13 +215,23 @@ def main(argv: List[str] | None = None) -> int:
         from repro.obs import RaceProvenance
 
         provenance = RaceProvenance()
-    if args.detector == "dtrg" and (obs is not None or provenance is not None):
+    name_capture = None
+    if parallel:
+        # Two-phase mode: phase 1 records the stream (no detector in the
+        # loop), phase 2 replays it through the sharded checker.  Live task
+        # names are captured so parallel races print identically to live.
+        detector = None
+        observers: List = []
+        name_capture = _NameCapture()
+        observers.append(name_capture)
+    elif args.detector == "dtrg" and (obs is not None or provenance is not None):
         detector = DETECTORS[args.detector](
             policy=args.policy, obs=obs, provenance=provenance
         )
+        observers = [detector]
     else:
         detector = DETECTORS[args.detector](policy=args.policy)
-    observers: List = [detector]
+        observers = [detector]
     graph_builder = None
     if args.dot or args.witness or args.verify_witness:
         graph_builder = GraphBuilder()
@@ -176,7 +241,7 @@ def main(argv: List[str] | None = None) -> int:
         metrics = MetricsCollector()
         observers.append(metrics)
     recorder = None
-    if args.trace:
+    if args.trace or parallel:
         recorder = TraceRecorder()
         observers.append(recorder)
 
@@ -256,6 +321,23 @@ def main(argv: List[str] | None = None) -> int:
               f"{type(exc).__name__}: {exc}", file=sys.stderr)
         write_artifacts()
         return 2
+
+    if parallel:
+        result = replay_trace_parallel(
+            recorder.trace,
+            jobs=args.jobs,
+            backend=args.parallel_backend,
+            names=name_capture.names,
+            obs=obs,
+        )
+        detector = result  # duck-typed: .report / .races / .witnesses
+        if args.metrics:
+            timings = result.timings
+            print(f"parallel check: jobs={result.jobs} "
+                  f"backend={result.backend} shards={len(result.shards)} "
+                  f"freeze={timings['freeze_seconds'] * 1e3:.1f}ms "
+                  f"check={timings['check_seconds'] * 1e3:.1f}ms "
+                  f"merge={timings['merge_seconds'] * 1e3:.1f}ms")
 
     print(detector.report.summary())
 

@@ -1,0 +1,130 @@
+"""DTRGSnapshot: the frozen array-backed DTRG (ALGORITHM.md §12.1).
+
+``freeze`` compacts a *finished* graph into flat ``array('q')`` columns;
+``precede`` on the snapshot must answer exactly like the live graph on
+every task pair, allocation-free, and the whole object must pickle
+cheaply (that pickle is the per-worker payload of the spawn backend).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.detector import DeterminacyRaceDetector
+from repro.core.snapshot import DTRGSnapshot
+from repro.runtime.runtime import Runtime
+from repro.testing.generator import random_program, run_program
+
+
+def finished_detector(seed: int) -> DeterminacyRaceDetector:
+    det = DeterminacyRaceDetector()
+    run_program(random_program(random.Random(seed)), [det])
+    return det
+
+
+def test_freeze_preserves_every_precede_answer():
+    for seed in range(30):
+        det = finished_detector(seed)
+        snap = DTRGSnapshot.freeze(det.dtrg)
+        for a in snap.keys:
+            for b in snap.keys:
+                assert snap.precede(a, b) == det.dtrg.precede(a, b), (
+                    f"seed {seed}: snapshot diverges on ({a}, {b})"
+                )
+
+
+def test_freeze_preserves_is_ancestor():
+    for seed in range(10):
+        det = finished_detector(seed)
+        snap = DTRGSnapshot.freeze(det.dtrg)
+        index = snap.index
+        for a in snap.keys:
+            for b in snap.keys:
+                assert (snap.is_ancestor_idx(index[a], index[b])
+                        == det.dtrg.is_ancestor(a, b))
+
+
+def test_future_chain_snapshot_is_final_state():
+    """The paper's Figure 1 shape: a future chain joined by main.
+
+    After the end-finish merge (Algorithm 6) every task sits in one set,
+    so the *final*-state PRECEDE is all-True — the snapshot must
+    reproduce exactly that, demonstrating why sound parallel checking
+    replays the structure log instead of querying the snapshot directly
+    (ALGORITHM.md §12.2's masked-race argument).
+    """
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+
+    def program(rt_):
+        with rt.finish():
+            f1 = rt.future(lambda: 1, name="f1")
+            f2 = rt.future(lambda: rt.get(f1) + 1, name="f2")
+            assert rt.get(f2) == 2
+
+    rt.run(program)
+    snap = DTRGSnapshot.freeze(det.dtrg)
+    keys = snap.keys
+    assert len(keys) == 3
+    for a in keys:
+        for b in keys:
+            assert snap.precede(a, b) == det.dtrg.precede(a, b) is True
+
+
+def test_snapshot_counts_queries():
+    det = finished_detector(3)
+    snap = DTRGSnapshot.freeze(det.dtrg)
+    before = snap.num_precede_queries
+    snap.precede(snap.keys[0], snap.keys[-1])
+    assert snap.num_precede_queries == before + 1
+
+
+def test_pickle_round_trip():
+    for seed in (0, 7, 11):
+        det = finished_detector(seed)
+        snap = DTRGSnapshot.freeze(det.dtrg)
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.keys == snap.keys
+        assert clone.index == snap.index
+        for a in snap.keys:
+            for b in snap.keys:
+                assert clone.precede(a, b) == snap.precede(a, b)
+
+
+def test_pickle_is_compact():
+    det = finished_detector(5)
+    snap = DTRGSnapshot.freeze(det.dtrg)
+    n = len(snap.keys)
+    blob = pickle.dumps(snap)
+    # Flat arrays, not per-node objects: a loose linear bound holds with
+    # lots of headroom (the live graph costs ~1 KB/task in objects).
+    assert len(blob) < 400 * n + 2000
+    assert snap.nbytes < 200 * n + 500
+
+
+def test_freeze_requires_finished_graph():
+    """Freezing mid-run is a contract violation the class must detect:
+    a temporary postorder would make containment checks meaningless."""
+    det = DeterminacyRaceDetector()
+    rt = Runtime(observers=[det])
+    captured = {}
+
+    def program(rt):
+        with rt.finish():
+            rt.async_(lambda: None, name="child")
+            # Freeze while the child (and main) are unterminated.
+            try:
+                DTRGSnapshot.freeze(det.dtrg)
+            except ValueError as exc:
+                captured["error"] = exc
+
+    rt.run(program)
+    assert "error" in captured
+
+
+def test_num_non_tree_edges_matches_live():
+    for seed in range(10):
+        det = finished_detector(seed)
+        snap = DTRGSnapshot.freeze(det.dtrg)
+        assert snap.num_non_tree_edges == det.dtrg.num_non_tree_edges

@@ -47,3 +47,37 @@ def test_bench_data_records_failures_without_aborting(monkeypatch, capsys):
     assert data["workloads"] == [
         {"name": "Series-af", "error": "RuntimeError: exploded"}
     ]
+
+
+def test_parallel_bench_writes_pr5_schema(tmp_path, capsys):
+    from repro.harness.bench import PARALLEL_BENCH_SCHEMA
+
+    out = tmp_path / "BENCH_PR5.json"
+    code = main(["--parallel", "--scale", "tiny", "--jobs", "1,2",
+                 "--only", "Jacobi", "--output", str(out),
+                 "--tag", "unit-test"])
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == PARALLEL_BENCH_SCHEMA
+    assert data["tag"] == "unit-test"
+    assert data["cpu_count"] >= 1
+    (w,) = data["workloads"]
+    assert w["name"] == "Jacobi"
+    assert w["identical_across_jobs"] is True
+    assert w["num_access_events"] > 0
+    assert w["snapshot_bytes"] > 0 and w["bytes_per_task"] > 0
+    assert w["freeze_seconds"] > 0
+    rows = {r["jobs"]: r for r in w["jobs"]}
+    assert set(rows) == {1, 2}
+    assert rows[1]["speedup"] == 1.0
+    assert rows[2]["seconds"] > 0 and rows[2]["speedup"] > 0
+
+
+def test_parallel_bench_jobs_parsing(tmp_path):
+    import pytest
+
+    for bad in ("0,2", "nope"):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--parallel", "--jobs", bad,
+                  "--output", str(tmp_path / "x.json")])
+        assert excinfo.value.code == 2

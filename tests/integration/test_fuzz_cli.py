@@ -255,3 +255,40 @@ def test_fuzz_obs_artifacts(tmp_path, capsys):
     assert validate_chrome_trace(data) == []
     stats = json.loads(metrics.read_text())
     assert stats["counters"]["tasks_spawned"] > 0
+
+
+# ---------------------------------------------------------------------- #
+# Parallel-parity leg (--jobs)                                           #
+# ---------------------------------------------------------------------- #
+def test_fuzz_with_jobs_is_clean(capsys):
+    assert fuzz.main(["--seeds", "0:6", "--mode", "scoped",
+                      "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "no divergences" in out
+    assert "dtrg[parallel]" in out
+
+
+def test_planted_parallel_divergence_is_flagged(monkeypatch):
+    """A sharded checker that loses races must surface as a
+    parallel-divergence failure, not pass silently."""
+    from io import StringIO
+
+    from repro.core import parallel_check as parallel_mod
+
+    class _LyingResult:
+        racy_locations = frozenset()
+
+        def summary(self):
+            return "no determinacy races detected"
+
+    monkeypatch.setattr(
+        parallel_mod, "check_trace_parallel",
+        lambda trace, **kwargs: _LyingResult(),
+    )
+    stats, failures = fuzz.fuzz_range(
+        range(0, 8), modes=("scoped",), shrink=False, jobs=2,
+        out=StringIO(),
+    )
+    assert any(f.kind == "parallel-divergence" for f in failures)
+    row = stats.per_detector[fuzz.PARALLEL_NAME]
+    assert row["divergences"] > 0

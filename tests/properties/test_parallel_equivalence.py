@@ -1,0 +1,97 @@
+"""Sharded parallel checking ≡ sequential replay, under fuzzing.
+
+Two properties over ≥200 generated programs (ALGORITHM.md §12):
+
+1. **Snapshot fidelity** — ``DTRGSnapshot.freeze`` of the finished DTRG
+   answers ``precede`` exactly like the live graph on *every* task pair.
+2. **Sharded equivalence** — ``check_trace_parallel`` at jobs ∈ {1, 2, 4}
+   reproduces the sequential replay detector byte-for-byte: same race
+   list in the same order, same ``summary()`` text, same racy locations,
+   same job-count-invariant ``DetectorPerf`` counters.
+
+Shard assignment is by location hash and workers replay the structure
+log independently, so any soundness slip (e.g. answering from the
+post-merge final state — the masked-race trap) or any ordering slip in
+the merge shows up as a seed-numbered counterexample here.
+"""
+
+import random
+
+import pytest
+
+from repro.core.detector import DeterminacyRaceDetector
+from repro.core.parallel_check import check_trace_parallel
+from repro.core.snapshot import DTRGSnapshot
+from repro.memory.tracer import TraceRecorder, replay_trace
+from repro.testing.generator import random_program, run_program
+
+NUM_SEEDS = 240
+JOBS = (1, 2, 4)
+INVARIANT_PERF = (
+    "precede_queries", "mutation_epoch", "shadow_fast_hits",
+    "precede_calls_saved",
+)
+
+
+def _sequential(trace):
+    det = DeterminacyRaceDetector()
+    replay_trace(trace, [det])
+    return det
+
+
+@pytest.mark.parametrize("band", range(0, NUM_SEEDS, 40))
+def test_parallel_equivalence_fuzz(band):
+    racy_seeds = 0
+    for seed in range(band, band + 40):
+        rec = TraceRecorder()
+        run_program(random_program(random.Random(seed)), [rec])
+        trace = rec.trace
+        det = _sequential(trace)
+        # Capture the golden counters *before* the all-pairs sweep below:
+        # each live-graph precede() bumps the detector's query counters.
+        golden_summary = det.report.summary()
+        golden_order = [r.pair_key for r in det.races]
+        golden_perf = det.perf_stats
+
+        snap = DTRGSnapshot.freeze(det.dtrg)
+        for a in snap.keys:
+            for b in snap.keys:
+                assert snap.precede(a, b) == det.dtrg.precede(a, b), (
+                    f"seed {seed}: snapshot diverges on ({a}, {b})"
+                )
+        racy_seeds += bool(golden_order)
+        for jobs in JOBS:
+            result = check_trace_parallel(trace, jobs=jobs,
+                                          backend="inline")
+            assert result.summary() == golden_summary, (
+                f"seed {seed} jobs={jobs}: summary diverges"
+            )
+            assert [r.pair_key for r in result.races] == golden_order, (
+                f"seed {seed} jobs={jobs}: race order diverges"
+            )
+            assert result.racy_locations == det.racy_locations, (
+                f"seed {seed} jobs={jobs}: racy locations diverge"
+            )
+            perf = result.perf_stats
+            for key in INVARIANT_PERF:
+                assert perf[key] == golden_perf[key], (
+                    f"seed {seed} jobs={jobs}: counter {key} diverges "
+                    f"({perf[key]} vs {golden_perf[key]})"
+                )
+    # The generator must actually exercise the racy path in every band,
+    # or the equivalence above is vacuous.
+    assert racy_seeds > 0
+
+
+def test_fork_backend_equivalence_sample():
+    """A smaller sweep through real worker processes (fork), so the
+    pickle-free inherit path is fuzzed too, not just the inline one."""
+    checked = 0
+    for seed in range(30):
+        rec = TraceRecorder()
+        run_program(random_program(random.Random(seed)), [rec])
+        det = _sequential(rec.trace)
+        result = check_trace_parallel(rec.trace, jobs=2, backend="fork")
+        assert result.summary() == det.report.summary(), f"seed {seed}"
+        checked += 1
+    assert checked == 30
