@@ -1,4 +1,41 @@
-"""Shim for offline legacy editable installs (no wheel package available)."""
+"""Shim for offline legacy editable installs (no wheel package available).
+
+Optionally compiles the detector's flat-array hot path with mypyc::
+
+    REPRO_BUILD_FAST=1 pip install -e '.[fast]'
+
+The ``[fast]`` extra pulls in mypy (which ships mypyc); the env flag opts
+the *build* in, because a compiled hot path is a correctness liability
+unless it is gated — CI's ``fast-build`` leg runs the full tier-1 suite
+plus the differential fuzzer against the compiled modules, whose
+contract is bit-identical race lists, ``RaceReport.summary()`` text and
+invariant ``DetectorPerf`` counters versus the pure-Python reference
+(``tests/properties/test_array_equivalence.py``).
+
+Without the flag — or when mypyc is unavailable — the build is
+pure-Python and nothing changes; the compiled extension, when present,
+transparently shadows ``repro/core/array_dtrg.py`` and
+``repro/core/fastcheck.py`` at import time.
+"""
+import os
+
 from setuptools import setup
 
-setup()
+_FAST_MODULES = [
+    "src/repro/core/array_dtrg.py",
+    "src/repro/core/fastcheck.py",
+]
+
+ext_modules = []
+if os.environ.get("REPRO_BUILD_FAST") == "1":
+    try:
+        from mypyc.build import mypycify
+    except ImportError:
+        print(
+            "warning: REPRO_BUILD_FAST=1 but mypyc is unavailable "
+            "(pip install '.[fast]'); building pure-Python"
+        )
+    else:
+        ext_modules = mypycify(_FAST_MODULES, opt_level="3")
+
+setup(ext_modules=ext_modules)

@@ -109,12 +109,16 @@ class DeterminacyRaceDetector(ExecutionObserver):
         memoize_visit: bool = True,
         use_intervals: bool = True,
         cache_precede: bool = True,
+        engine: str = "object",
         obs=None,
         provenance=None,
     ) -> None:
         if isinstance(policy, str):
             policy = ReportPolicy(policy)
         self.policy = policy
+        if engine not in ("object", "array"):
+            raise ValueError(f"unknown DTRG engine {engine!r}")
+        self.engine = engine
         self.report = RaceReport(dedupe=dedupe)
         self.obs = (
             obs if obs is not None and getattr(obs, "enabled", False) else None
@@ -130,12 +134,35 @@ class DeterminacyRaceDetector(ExecutionObserver):
         else:
             self.provenance = None
             self._witness_cls = None
-        self.dtrg = DynamicTaskReachabilityGraph(
-            use_lsa=use_lsa,
-            memoize_visit=memoize_visit,
-            use_intervals=use_intervals,
-            cache_precede=cache_precede,
-        )
+        if engine == "array":
+            # Flat-array live DTRG (repro.core.array_dtrg).  It implements
+            # only the paper's default strategy and always runs cache-less
+            # (verdict-cache hit counts depend on physical union-find root
+            # identity, which legitimately differs between engines), so the
+            # ablation switches, observability hooks and witness builder
+            # are object-engine-only.  cache_precede still gates the shadow
+            # memory's epoch memo below, keeping shadow_fast_hits /
+            # precede_calls_saved bit-identical to the default detector.
+            if not (use_lsa and memoize_visit and use_intervals):
+                raise ValueError(
+                    "engine='array' implements the default query strategy "
+                    "only; ablation switches require engine='object'"
+                )
+            if self.obs is not None or self.provenance is not None:
+                raise ValueError(
+                    "engine='array' does not support observability or "
+                    "provenance attachments; use engine='object'"
+                )
+            from repro.core.array_dtrg import ArrayDTRG
+
+            self.dtrg = ArrayDTRG()
+        else:
+            self.dtrg = DynamicTaskReachabilityGraph(
+                use_lsa=use_lsa,
+                memoize_visit=memoize_visit,
+                use_intervals=use_intervals,
+                cache_precede=cache_precede,
+            )
         dtrg = self.dtrg
         # Attach before binding dtrg.precede below, so the shadow memory
         # queries through the traced entry point when tracing is on.

@@ -26,8 +26,9 @@ self-contained and replayable in a fresh process.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Hashable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.finish import FinishScope
@@ -44,6 +45,8 @@ __all__ = [
     "WriteEvent",
     "Event",
     "Trace",
+    "EncodedTrace",
+    "encode_trace",
 ]
 
 #: Type of a shared-memory location key: any hashable value.  The shared
@@ -98,7 +101,7 @@ class ExecutionObserver:
 # the field existed lack the attribute entirely, so readers must use
 # ``getattr(event, "site", None)``.
 # ---------------------------------------------------------------------- #
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskCreateEvent:
     parent: int          #: tid of the spawning task
     child: int           #: tid of the new task
@@ -107,38 +110,38 @@ class TaskCreateEvent:
     site: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskEndEvent:
     task: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetEvent:
     consumer: int
     producer: int
     site: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FinishStartEvent:
     fid: int
     owner: int
     enclosing: int  #: fid of the enclosing scope; -1 for the root finish
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FinishEndEvent:
     fid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadEvent:
     task: int
     loc: LocationKey
     site: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteEvent:
     task: int
     loc: LocationKey
@@ -214,3 +217,180 @@ class Trace:
         if not isinstance(trace, Trace):
             raise TypeError(f"{path} does not contain a Trace")
         return trace
+
+# ---------------------------------------------------------------------- #
+# Encoded traces: the flat-array hot-path representation                 #
+#
+# ``encode_trace`` lowers a recorded event stream into integer columns so
+# the fast checker (:mod:`repro.core.fastcheck`) and the sharded builder
+# can iterate it without touching a Python object per event:
+#
+# * task ids are renumbered to *dense indices* in creation order (main
+#   task = index 0, each ``TaskCreateEvent`` appends the next index) —
+#   the same order in which an :class:`~repro.core.array_dtrg.ArrayDTRG`
+#   allocates slots, so access rows can be consumed with zero lookups;
+# * location keys are interned to dense ids (``locs[loc_id]`` recovers
+#   the original key for race reports);
+# * access events become 3-wide rows ``(is_write, task_idx, loc_id)`` in
+#   one ``array('q')``; structure events (rare) stay as small tuples;
+# * the stream is run-length segmented into alternating access/structure
+#   runs, so a decoder dispatches once per *block* instead of once per
+#   event and can time the structure and access phases separately.
+# ---------------------------------------------------------------------- #
+
+#: Structure-event opcodes used in :attr:`EncodedTrace.structure` tuples.
+OP_TASK_CREATE = 2
+OP_TASK_END = 3
+OP_GET = 4
+OP_FINISH_START = 5
+OP_FINISH_END = 6
+
+#: Run kinds in :attr:`EncodedTrace.runs` (flat ``(kind, count)`` pairs).
+RUN_ACCESS = 0
+RUN_STRUCTURE = 1
+
+
+class EncodedTrace:
+    """A :class:`Trace` lowered to flat integer arrays (see above).
+
+    Attributes
+    ----------
+    access:
+        ``array('q')`` of 3-wide rows ``(is_write, task_idx, loc_id)``,
+        one row per read/write event, in stream order.
+    structure:
+        list of tuples, one per structure event, in stream order:
+        ``(OP_TASK_CREATE, parent_idx, is_future, ief)`` (the child index
+        is implicit — indices are assigned in creation order),
+        ``(OP_TASK_END, task_idx)``, ``(OP_GET, consumer_idx,
+        producer_idx)``, ``(OP_FINISH_START, fid, owner_idx, enclosing)``,
+        ``(OP_FINISH_END, fid)``.
+    runs:
+        ``array('q')`` of flat ``(kind, count)`` pairs segmenting the
+        stream into maximal same-kind runs (``RUN_ACCESS`` counts access
+        rows, ``RUN_STRUCTURE`` counts structure tuples).
+    task_keys:
+        dense task index -> original tid (``task_keys[0]`` is the main
+        task's tid, 0 by replay convention).
+    is_future:
+        ``bytearray`` flag per dense task index (main task -> 0).
+    locs:
+        dense loc id -> original location key.
+    access_sites:
+        ``None`` when no access event carries a provenance site, else a
+        list aligned with access-row ordinals (``site`` of row ``k``).
+    """
+
+    __slots__ = (
+        "access", "structure", "runs", "task_keys", "is_future",
+        "locs", "loc_index", "access_sites",
+        "num_access_events", "num_structure_events",
+    )
+
+    def __init__(self) -> None:
+        self.access = array("q")
+        self.structure: List[tuple] = []
+        self.runs = array("q")
+        self.task_keys: List[int] = [0]
+        self.is_future = bytearray(1)
+        self.locs: List[LocationKey] = []
+        self.loc_index: Dict[LocationKey, int] = {}
+        self.access_sites: Optional[List[Optional[str]]] = None
+        self.num_access_events = 0
+        self.num_structure_events = 0
+
+    def __len__(self) -> int:
+        return self.num_access_events + self.num_structure_events
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_keys)
+
+    @property
+    def num_locations(self) -> int:
+        return len(self.locs)
+
+
+def encode_trace(events: Iterable[Event]) -> "EncodedTrace":
+    """Lower ``events`` (a :class:`Trace` or any event iterable) into an
+    :class:`EncodedTrace`.
+
+    Unknown task ids referenced before their ``TaskCreateEvent`` (possible
+    only in hand-built traces) raise ``KeyError``, matching replay.
+    """
+    enc = EncodedTrace()
+    acc: List[int] = []          # flat access rows, converted once at the end
+    structure = enc.structure
+    runs: List[int] = []
+    task_index: Dict[int, int] = {0: 0}
+    task_keys = enc.task_keys
+    is_future = enc.is_future
+    loc_index = enc.loc_index
+    locs = enc.locs
+    sites: Optional[List[Optional[str]]] = None
+    run_kind = -1                # current run's kind; -1 = none yet
+    n_access = 0
+
+    for e in events:
+        tp = type(e)
+        if tp is ReadEvent or tp is WriteEvent:
+            if run_kind != RUN_ACCESS:
+                runs.append(RUN_ACCESS)
+                runs.append(0)
+                run_kind = RUN_ACCESS
+            runs[-1] += 1
+            loc = e.loc
+            lid = loc_index.get(loc)
+            if lid is None:
+                lid = loc_index[loc] = len(locs)
+                locs.append(loc)
+            acc.append(1 if tp is WriteEvent else 0)
+            acc.append(task_index[e.task])
+            acc.append(lid)
+            site = e.site
+            if site is not None:
+                if sites is None:
+                    sites = [None] * n_access
+                else:
+                    sites.extend([None] * (n_access - len(sites)))
+                sites.append(site)
+            n_access += 1
+            continue
+        # Structure event (rare path).
+        if run_kind != RUN_STRUCTURE:
+            runs.append(RUN_STRUCTURE)
+            runs.append(0)
+            run_kind = RUN_STRUCTURE
+        runs[-1] += 1
+        if tp is TaskCreateEvent:
+            child_idx = len(task_keys)
+            structure.append(
+                (OP_TASK_CREATE, task_index[e.parent],
+                 1 if e.is_future else 0, e.ief)
+            )
+            task_index[e.child] = child_idx
+            task_keys.append(e.child)
+            is_future.append(1 if e.is_future else 0)
+        elif tp is TaskEndEvent:
+            structure.append((OP_TASK_END, task_index[e.task]))
+        elif tp is GetEvent:
+            structure.append(
+                (OP_GET, task_index[e.consumer], task_index[e.producer])
+            )
+        elif tp is FinishStartEvent:
+            structure.append(
+                (OP_FINISH_START, e.fid, task_index[e.owner], e.enclosing)
+            )
+        elif tp is FinishEndEvent:
+            structure.append((OP_FINISH_END, e.fid))
+        else:
+            raise TypeError(f"unknown event type: {e!r}")
+
+    if sites is not None and len(sites) < n_access:
+        sites.extend([None] * (n_access - len(sites)))
+    enc.access = array("q", acc)
+    enc.runs = array("q", runs)
+    enc.access_sites = sites
+    enc.num_access_events = n_access
+    enc.num_structure_events = len(structure)
+    return enc

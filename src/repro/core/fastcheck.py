@@ -1,0 +1,447 @@
+"""Single-pass fast race checking over an encoded trace.
+
+``check_trace_fast`` is the single-thread hot path the ROADMAP's
+"~1M events/s" item calls for: one streaming pass over an
+:class:`~repro.core.events.EncodedTrace` in which *structure* events
+mutate a live :class:`~repro.core.array_dtrg.ArrayDTRG` in place and
+*access* events run Algorithms 8-9 over compact integer-indexed shadow
+state — no per-event Python objects, no replay stand-ins, no epoch
+journal (the graph itself is always at the current epoch, unlike the
+sharded checker which must rewind).
+
+The shadow state is the structure-of-arrays form of
+:class:`~repro.core.shadow.ShadowMemory`'s cells, indexed by interned
+location id:
+
+* ``writers[loc]`` — last writing task index (``-1`` none),
+* ``readers[loc]`` — retained parallel-reader index list (``None`` until
+  first read; at most one plain-async member plus every future-covered
+  member, exactly the Lemma 4 policy),
+* ``fast_reader[loc]`` / ``fast_epoch[loc]`` — the epoch-memoized
+  same-task read fast path.
+
+Equivalence contract (same as the sharded checker's, pinned by
+``tests/properties/test_array_equivalence.py`` and the golden tests):
+race list, detection order, ``RaceReport.summary()``, ``#AvgReaders`` and
+the invariant ``DetectorPerf`` counters (``precede_queries``,
+``mutation_epoch``, ``shadow_fast_hits``, ``precede_calls_saved``) are
+bit-identical to the sequential replay detector; ``cache_*`` report 0
+because the array engine runs cache-less (verdict-cache hit counts are
+physical-root-identity-sensitive, see :mod:`repro.core.array_dtrg`).
+
+The run-length segments produced by ``encode_trace`` do double duty:
+dispatch is amortized over whole blocks (the access inner loop never
+tests event *types*), and the per-phase wall-clock split the bench
+surfaces (``structure_seconds`` vs ``access_seconds``) falls out of
+timestamping block boundaries instead of single events.
+
+Provenance sites recorded in the trace ride along: races carry the two
+accesses' site labels exactly like the sharded checker's attribution
+(witness *certificates* are sequential-replay-only, as before).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.array_dtrg import ArrayDTRG
+from repro.core.events import (
+    OP_FINISH_END,
+    OP_FINISH_START,
+    OP_GET,
+    OP_TASK_CREATE,
+    OP_TASK_END,
+    RUN_ACCESS,
+    EncodedTrace,
+    Event,
+    encode_trace,
+)
+from repro.core.races import AccessKind, Race, RaceReport
+
+__all__ = ["FastCheckResult", "check_trace_fast"]
+
+_KIND = {
+    "read-write": AccessKind.READ_WRITE,
+    "write-write": AccessKind.WRITE_WRITE,
+    "write-read": AccessKind.WRITE_READ,
+}
+
+
+class FastCheckResult:
+    """Outcome of a fast single-pass check, duck-typed like
+    :class:`~repro.core.parallel_check.ParallelCheckResult` where the
+    harness/CLI consume it (``report``, ``races``, ``racy_locations``,
+    ``perf_stats``, ``avg_readers``, ``summary()``), plus the live
+    :class:`ArrayDTRG` (``dtrg``) for freezing/introspection."""
+
+    def __init__(self) -> None:
+        self.report = RaceReport(dedupe=True)
+        self.dtrg: Optional[ArrayDTRG] = None
+        self.num_tasks = 0
+        self.num_events = 0
+        self.num_access_events = 0
+        self.num_structure_events = 0
+        self.num_locations = 0
+        self.num_visits = 0
+        self.num_non_tree_edges = 0
+        self.num_tree_merges = 0
+        self.mutation_epoch = 0
+        self.num_precede_queries = 0
+        self.shadow_fast_hits = 0
+        self.precede_calls_saved = 0
+        self.num_accesses = 0
+        self.total_readers_seen = 0
+        #: ``encode_seconds`` (trace lowering, 0.0 when given an already
+        #: encoded trace), ``structure_seconds`` (DTRG mutation blocks),
+        #: ``access_seconds`` (shadow check blocks), ``total_seconds``.
+        self.timings: Dict[str, float] = {}
+
+    @property
+    def races(self):
+        return self.report.races
+
+    @property
+    def racy_locations(self):
+        return self.report.racy_locations
+
+    @property
+    def avg_readers(self) -> float:
+        if not self.num_accesses:
+            return 0.0
+        return self.total_readers_seen / self.num_accesses
+
+    @property
+    def events_per_second(self) -> float:
+        total = self.timings.get("total_seconds", 0.0)
+        return self.num_events / total if total > 0 else 0.0
+
+    @property
+    def access_events_per_second(self) -> float:
+        """Throughput of the access-check phase alone — the quantity the
+        ISSUE 6 acceptance criterion tracks."""
+        secs = self.timings.get("access_seconds", 0.0)
+        return self.num_access_events / secs if secs > 0 else 0.0
+
+    @property
+    def perf_stats(self) -> dict:
+        """Same keys as ``DeterminacyRaceDetector.perf_stats``; the
+        ``cache_*`` columns are 0 by construction (cache-less engine)."""
+        return {
+            "precede_queries": self.num_precede_queries,
+            "mutation_epoch": self.mutation_epoch,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_invalidations": 0,
+            "cache_hit_rate": 0.0,
+            "shadow_fast_hits": self.shadow_fast_hits,
+            "precede_calls_saved": self.precede_calls_saved,
+        }
+
+    def summary(self) -> str:
+        return self.report.summary()
+
+
+def check_trace_fast(
+    trace: "EncodedTrace | Iterable[Event]",
+    *,
+    names: Optional[Dict[int, str]] = None,
+) -> FastCheckResult:
+    """Check a recorded trace in one pass (see module docstring).
+
+    Parameters
+    ----------
+    trace:
+        An :class:`EncodedTrace`, or a :class:`~repro.core.events.Trace` /
+        event iterable (encoded on the fly; the encode time is reported
+        separately in ``timings``).
+    names:
+        Optional tid -> display-name map; defaults to the replay
+        convention ``task#<tid>`` / ``future#<tid>``.
+    """
+    t0 = perf_counter()
+    if isinstance(trace, EncodedTrace):
+        enc = trace
+        t_enc = t0
+    else:
+        enc = encode_trace(trace)
+        t_enc = perf_counter()
+
+    task_keys = enc.task_keys
+    n_tasks = len(task_keys)
+    # Display names, replay convention; Race construction reads these.
+    names_list: List[str] = []
+    for i in range(n_tasks):
+        key = task_keys[i]
+        name = names.get(key) if names else None
+        if name is None:
+            name = (
+                f"future#{key}" if enc.is_future[i] else f"task#{key}"
+            )
+        names_list.append(name)
+
+    dtrg = ArrayDTRG()
+    dtrg.add_root_idx(task_keys[0], names_list[0])
+    add_task_idx = dtrg.add_task_idx
+    on_terminate_idx = dtrg.on_terminate_idx
+    record_join_idx = dtrg.record_join_idx
+    merge_idx = dtrg.merge_idx
+    precede = dtrg.precede_idx
+
+    #: Future-covered flag per task index (future or spawn-descendant of
+    #: one) — the strengthened ``IsFuture`` the reader policy needs.
+    covered = bytearray(1)
+    #: fid -> [owner_idx, join_idx_list] (root finish 0 owned by main).
+    scopes: Dict[int, list] = {0: [0, []]}
+
+    n_locs = enc.num_locations
+    writers = [-1] * n_locs
+    readers: List[Optional[list]] = [None] * n_locs
+    fast_reader = [-1] * n_locs
+    fast_epoch = [-1] * n_locs
+
+    report = FastCheckResult()
+    report.dtrg = dtrg
+    add_race = report.report.add
+    locs = enc.locs
+    sites = enc.access_sites
+    retain = sites is not None
+    read_sites: Dict[int, Dict[int, Optional[str]]] = {}
+    write_sites: Dict[int, tuple] = {}
+
+    def _report(kind: str, prev: int, cur: int, lid: int, row: int) -> None:
+        # Rare path: build the Race exactly as the sequential detector
+        # would, with site attribution mirroring the sharded workers'.
+        if kind == "read-write":
+            prev_site = read_sites.get(lid, {}).get(prev)
+        else:
+            ws = write_sites.get(lid)
+            prev_site = ws[1] if ws is not None and ws[0] == prev else None
+        add_race(Race(
+            loc=locs[lid],
+            kind=_KIND[kind],
+            prev_task=task_keys[prev],
+            current_task=task_keys[cur],
+            prev_name=names_list[prev],
+            current_name=names_list[cur],
+            prev_site=prev_site,
+            current_site=sites[row] if retain else None,
+        ))
+
+    # Hot locals.
+    acc = enc.access
+    structure = enc.structure
+    runs = enc.runs
+    total_readers = 0
+    fast_read = 0
+    fast_write = 0
+    saved = 0
+    cur_epoch = 0  # mirrors dtrg.mutation_epoch between structure blocks
+    structure_seconds = 0.0
+    access_seconds = 0.0
+
+    j = 0   # next access row offset (in ints, rows are 3 wide)
+    si = 0  # next structure tuple index
+    for ri in range(0, len(runs), 2):
+        n_run = runs[ri + 1]
+        t_blk = perf_counter()
+        if runs[ri] == RUN_ACCESS:
+            end = j + 3 * n_run
+            while j < end:
+                is_write = acc[j]
+                task = acc[j + 1]
+                lid = acc[j + 2]
+                j += 3
+                rl = readers[lid]
+                w = writers[lid]
+                if is_write:
+                    # ----------------- Algorithm 8: write ------------- #
+                    if rl:
+                        nr = len(rl)
+                        total_readers += nr
+                        fast_reader[lid] = -1
+                        surviving = None
+                        vw = -1  # writer's verdict if the writer also read
+                        for i2 in range(nr):
+                            x = rl[i2]
+                            v = precede(x, task)
+                            if x == w:
+                                vw = 1 if v else 0
+                            if v:
+                                if surviving is None:
+                                    surviving = rl[:i2]
+                            else:
+                                _report("read-write", x, task, lid,
+                                        (j - 3) // 3)
+                                if surviving is not None:
+                                    surviving.append(x)
+                        if surviving is not None:
+                            readers[lid] = surviving
+                        if w >= 0 and w != task:
+                            if vw >= 0:
+                                saved += 1
+                                v = vw
+                            else:
+                                v = precede(w, task)
+                            if not v:
+                                _report("write-write", w, task, lid,
+                                        (j - 3) // 3)
+                        writers[lid] = task
+                    elif w < 0 or w == task:
+                        # Structural fast path: empty reader loop +
+                        # skipped/reflexive writer check.
+                        fast_write += 1
+                        fast_reader[lid] = -1
+                        writers[lid] = task
+                    else:
+                        fast_reader[lid] = -1
+                        if not precede(w, task):
+                            _report("write-write", w, task, lid,
+                                    (j - 3) // 3)
+                        writers[lid] = task
+                    if retain:
+                        write_sites[lid] = (task, sites[(j - 3) // 3])
+                    continue
+                # --------------------- Algorithm 9: read -------------- #
+                if rl:
+                    nr = len(rl)
+                    total_readers += nr
+                    if (w < 0 or w == task) and nr == 1 and rl[0] == task:
+                        # Structural fast path: sole-self reader,
+                        # reflexive retire-and-reappend.
+                        fast_read += 1
+                        saved += 1
+                        if retain:
+                            rs = read_sites.get(lid)
+                            if rs is None:
+                                read_sites[lid] = rs = {}
+                            rs[task] = sites[(j - 3) // 3]
+                        continue
+                    if fast_reader[lid] == task and fast_epoch[lid] == cur_epoch:
+                        # Epoch memo: pure replay of this task's last
+                        # clean check against an unmutated DTRG.
+                        fast_read += 1
+                        saved += nr + (0 if w < 0 or w == task else 1)
+                        if retain:
+                            rs = read_sites.get(lid)
+                            if rs is None:
+                                read_sites[lid] = rs = {}
+                            rs[task] = sites[(j - 3) // 3]
+                        continue
+                    update = False
+                    tif = covered[task]
+                    surviving = None
+                    for i2 in range(nr):
+                        x = rl[i2]
+                        if precede(x, task):
+                            update = True
+                            if surviving is None:
+                                surviving = rl[:i2]
+                            continue
+                        if tif or covered[x]:
+                            update = True
+                        if surviving is not None:
+                            surviving.append(x)
+                    if surviving is not None:
+                        readers[lid] = rl = surviving
+                elif w < 0 or w == task:
+                    # Structural fast path: first reader, no writer check
+                    # (deviation: always record the first reader).
+                    fast_read += 1
+                    if rl is None:
+                        readers[lid] = [task]
+                    else:
+                        rl.append(task)
+                    if retain:
+                        rs = read_sites.get(lid)
+                        if rs is None:
+                            read_sites[lid] = rs = {}
+                        rs[task] = sites[(j - 3) // 3]
+                    continue
+                else:
+                    if fast_reader[lid] == task and fast_epoch[lid] == cur_epoch:
+                        fast_read += 1
+                        saved += 1  # the skipped writer check
+                        if retain:
+                            rs = read_sites.get(lid)
+                            if rs is None:
+                                read_sites[lid] = rs = {}
+                            rs[task] = sites[(j - 3) // 3]
+                        continue
+                    update = True  # deviation: record the first reader
+                raced = False
+                if w >= 0 and w != task and not precede(w, task):
+                    _report("write-read", w, task, lid, (j - 3) // 3)
+                    raced = True
+                if update and (rl is None or task not in rl):
+                    if rl is None:
+                        readers[lid] = [task]
+                    else:
+                        rl.append(task)
+                if raced:
+                    fast_reader[lid] = -1
+                else:
+                    fast_reader[lid] = task
+                    fast_epoch[lid] = cur_epoch
+                if retain:
+                    rs = read_sites.get(lid)
+                    if rs is None:
+                        read_sites[lid] = rs = {}
+                    rs[task] = sites[(j - 3) // 3]
+            access_seconds += perf_counter() - t_blk
+        else:
+            for t in structure[si:si + n_run]:
+                op = t[0]
+                if op == OP_GET:
+                    record_join_idx(t[1], t[2])
+                elif op == OP_TASK_CREATE:
+                    parent = t[1]
+                    child = len(dtrg.uf)
+                    covered.append(1 if t[2] else covered[parent])
+                    add_task_idx(parent, bool(t[2]),
+                                 task_keys[child], names_list[child])
+                    if t[3] >= 0:
+                        scopes[t[3]][1].append(child)
+                elif op == OP_TASK_END:
+                    on_terminate_idx(t[1])
+                elif op == OP_FINISH_START:
+                    scopes[t[1]] = [t[2], []]
+                else:  # OP_FINISH_END
+                    owner, joins = scopes[t[1]]
+                    for tid in joins:
+                        merge_idx(owner, tid)
+            si += n_run
+            cur_epoch = dtrg.mutation_epoch
+            structure_seconds += perf_counter() - t_blk
+
+    # Implicit closing bracket: root finish end, then main terminates
+    # (mirrors replay_trace / the sharded build phase).
+    t_blk = perf_counter()
+    owner, joins = scopes[0]
+    for tid in joins:
+        merge_idx(owner, tid)
+    on_terminate_idx(0)
+    structure_seconds += perf_counter() - t_blk
+
+    t_done = perf_counter()
+    report.num_tasks = n_tasks
+    report.num_access_events = enc.num_access_events
+    report.num_structure_events = enc.num_structure_events
+    report.num_events = len(enc)
+    report.num_locations = n_locs
+    report.num_visits = dtrg.num_visits
+    report.num_non_tree_edges = dtrg.num_non_tree_edges
+    report.num_tree_merges = dtrg.num_tree_merges
+    report.mutation_epoch = dtrg.mutation_epoch
+    report.num_precede_queries = dtrg.num_precede_queries
+    report.shadow_fast_hits = fast_read + fast_write
+    report.precede_calls_saved = saved
+    report.num_accesses = enc.num_access_events
+    report.total_readers_seen = total_readers
+    report.timings = {
+        "encode_seconds": t_enc - t0,
+        "structure_seconds": structure_seconds,
+        "access_seconds": access_seconds,
+        "total_seconds": t_done - t0,
+    }
+    return report

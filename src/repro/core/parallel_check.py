@@ -357,7 +357,11 @@ def _build_phase(events: Iterable[Event], num_buckets: int,
     locs: List[Hashable] = []
     loc_ids: Dict[Hashable, int] = {}
     loc_bucket = array("q")
-    buckets = [array("q") for _ in range(num_buckets)]
+    # Rows accumulate in plain Python lists — one list.__iadd__ per event —
+    # and are bulk-converted to array('q') once at the end.  A per-event
+    # array.extend costs ~4x a list extend (buffer-protocol negotiation per
+    # call), which dominated the build phase on access-heavy traces.
+    buckets: List[list] = [[] for _ in range(num_buckets)]
     bucket_sites: List[Optional[list]] = [None] * num_buckets
 
     seq = 0
@@ -378,11 +382,11 @@ def _build_phase(events: Iterable[Event], num_buckets: int,
                 )
             b = loc_bucket[loc_id]
             bucket = buckets[b]
-            bucket.extend((
+            bucket += (
                 seq, dtrg.mutation_epoch,
                 0 if tp is ReadEvent else 1,
                 event.task, loc_id,
-            ))
+            )
             site = getattr(event, "site", None)
             sites = bucket_sites[b]
             if sites is not None:
@@ -440,7 +444,7 @@ def _build_phase(events: Iterable[Event], num_buckets: int,
     result.covered = covered
     result.names = task_names
     result.locs = locs
-    result.buckets = buckets
+    result.buckets = [array("q", rows) for rows in buckets]
     result.bucket_sites = bucket_sites
     result.num_events = seq
     result.num_access_events = n_access

@@ -104,6 +104,12 @@ class DTRGSnapshot:
         (intervals + memoized VISIT + LSA); verdicts are strategy-invariant,
         so freezing an ablated graph still reproduces its verdicts.
         """
+        state_fn = getattr(dtrg, "snapshot_state", None)
+        if state_fn is not None:
+            # ArrayDTRG freeze fast path: the live graph already stores the
+            # columns, so freezing is a wholesale buffer copy (plus the
+            # rep/CSR computation done by snapshot_state itself).
+            return cls._from_state(state_fn())
         snap = cls()
         nodes = list(dtrg._nodes.values())  # dict preserves creation order
         for node in nodes:
@@ -170,6 +176,26 @@ class DTRGSnapshot:
         snap.nt_prod = nt_prod
         snap._stamp = array("q", bytes(8 * n))
         snap._qid = 0
+        return snap
+
+    @classmethod
+    def _from_state(cls, state: dict) -> "DTRGSnapshot":
+        """Build a snapshot directly from pre-computed columns (the
+        :meth:`repro.core.array_dtrg.ArrayDTRG.snapshot_state` fast path).
+
+        Column conventions differ harmlessly from the object-graph freeze:
+        ``label_*``/``max_pre``/``lsa`` carry stale per-task values at
+        non-``rep`` slots instead of zeros/-1 — every query indexes those
+        columns at ``rep`` slots only, so verdicts and ``num_visits`` are
+        unaffected (property-tested in ``test_array_equivalence``).
+        """
+        snap = cls()
+        for col in _ARRAY_COLUMNS:
+            setattr(snap, col, state[col])
+        snap.keys = state["keys"]
+        snap.is_future = state["is_future"]
+        snap.index = {key: i for i, key in enumerate(snap.keys)}
+        snap._stamp = array("q", bytes(8 * len(snap.keys)))
         return snap
 
     # ------------------------------------------------------------------ #

@@ -43,9 +43,47 @@ Schema (``repro.bench.parallel/1``)::
        "jobs": [{"jobs": 1, "seconds": ..., "check_seconds": ...,
                  "freeze_seconds": ..., "speedup": ...}, ...]}, ...]}
 
+On a single-core box (``os.cpu_count() == 1``) the parallel document is
+additionally tagged ``"speedup_valid": false`` and a loud warning is
+printed: multi-job wall times there measure sharding *overhead*, never
+speedup, and must not be read as regressions.
+
+``--throughput`` races the three single-thread checking engines
+back-to-back over each workload's recorded trace — live object-graph
+replay, the PR 5 snapshot checker at jobs=1, and the PR 6 flat-array
+fast path (:func:`repro.core.fastcheck.check_trace_fast`) — and writes
+``BENCH_PR6.json`` by default::
+
+    repro-bench --throughput --scale large --only Jacobi
+
+Schema (``repro.bench.throughput/1``)::
+
+    {"schema": "repro.bench.throughput/1", "scale": ..., "repeats": ...,
+     "cpu_count": ..., "tag": ..., "workloads": [{"name": ...,
+       "num_events": ..., "num_access_events": ..., "races": ...,
+       "sequential_replay": {"seconds": ..., "events_per_second": ...},
+       "snapshot_jobs1": {"check_seconds": ..., "total_seconds": ...,
+                          "access_events_per_second": ...},
+       "fast": {"encode_seconds": ..., "structure_seconds": ...,
+                "access_seconds": ..., "total_seconds": ...,
+                "events_per_second": ...,
+                "access_events_per_second": ...},
+       "speedup_access_vs_snapshot_jobs1": ...,
+       "speedup_total_vs_replay": ...,
+       "identical": ..., "mismatches": [...]}, ...]}
+
+``--baseline FILE`` (throughput mode) gates against a checked-in
+baseline (``benchmarks/throughput_baseline.json``): the run fails if any
+workload's fast-path ``access_events_per_second`` drops more than 10%
+below the baseline value, or if its speedup over the same-process
+snapshot baseline falls below the recorded floor.  Baseline absolute
+numbers are deliberately conservative — shared-CI wall clocks vary
+severalfold — while the speedup floor is box-speed-independent.
+
 Exit status: 0 on success, 1 if any workload failed verification or
-raised (or, with ``--parallel``, broke the determinism contract), 2 on
-usage errors.
+raised (or, with ``--parallel``, broke the determinism contract; or,
+with ``--throughput``, broke bit-equivalence or the ``--baseline``
+gate), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -62,12 +100,20 @@ from repro.harness.runner import (
     EXTENDED_BENCHMARKS,
     run_benchmark,
     run_parallel_benchmark,
+    run_throughput_benchmark,
 )
 
-__all__ = ["bench_data", "parallel_bench_data", "main"]
+__all__ = [
+    "bench_data",
+    "parallel_bench_data",
+    "throughput_bench_data",
+    "check_throughput_baseline",
+    "main",
+]
 
 BENCH_SCHEMA = "repro.bench/1"
 PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
+THROUGHPUT_BENCH_SCHEMA = "repro.bench.throughput/1"
 
 
 def _workload_data(result) -> dict:
@@ -82,6 +128,7 @@ def _workload_data(result) -> dict:
             result.slowdown_vs_instrumented, 4
         ),
         "races": result.races,
+        "events_per_second": round(result.events_per_second, 1),
         "structural": {
             "num_tasks": result.metrics.num_tasks,
             "num_future_tasks": result.metrics.num_future_tasks,
@@ -192,7 +239,14 @@ def parallel_bench_data(
                     "seconds": result.per_jobs[n]["seconds"],
                     "check_seconds": result.per_jobs[n]["check_seconds"],
                     "freeze_seconds": result.per_jobs[n]["freeze_seconds"],
+                    "build_seconds": result.per_jobs[n]["build_seconds"],
                     "speedup": round(result.per_jobs[n]["speedup"], 4),
+                    "events_per_second": round(
+                        result.per_jobs[n]["events_per_second"], 1
+                    ),
+                    "access_events_per_second": round(
+                        result.per_jobs[n]["access_events_per_second"], 1
+                    ),
                 }
                 for n in jobs
             ],
@@ -207,8 +261,111 @@ def parallel_bench_data(
             f"identical={result.identical}",
             file=out,
         )
+    cpu_count = os.cpu_count() or 1
     data = {
         "schema": PARALLEL_BENCH_SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "cpu_count": cpu_count,
+        "speedup_valid": cpu_count > 1,
+        "workloads": workloads,
+    }
+    if cpu_count <= 1:
+        print(
+            "=" * 72 + "\n"
+            "WARNING: cpu_count == 1 — multi-job wall times on this box\n"
+            "measure sharding OVERHEAD, not speedup.  The artifact is\n"
+            'tagged "speedup_valid": false; do not read sub-1.0 speedups\n'
+            "here as regressions.\n" + "=" * 72,
+            file=out or sys.stderr,
+        )
+    if tag is not None:
+        data["tag"] = tag
+    return data
+
+
+def throughput_bench_data(
+    names: List[str],
+    *,
+    scale: str = "small",
+    repeats: int = 2,
+    verify: bool = True,
+    tag: Optional[str] = None,
+    out=None,
+) -> dict:
+    """Run ``names`` through the single-thread engine race and assemble
+    the ``repro.bench.throughput/1`` document (see module docstring)."""
+    workloads: List[dict] = []
+    for name in names:
+        try:
+            result = run_throughput_benchmark(
+                name, scale, repeats=repeats, verify=verify
+            )
+        except Exception as exc:
+            print(f"bench {name}: FAILED — {type(exc).__name__}: {exc}",
+                  file=out or sys.stderr)
+            workloads.append({
+                "name": name,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            continue
+        ft = result.fast_timings
+        workloads.append({
+            "name": name,
+            "scale": result.scale,
+            "num_events": result.num_events,
+            "num_access_events": result.num_access_events,
+            "num_structure_events": result.num_structure_events,
+            "num_tasks": result.num_tasks,
+            "num_locations": result.num_locations,
+            "races": result.races,
+            "sequential_replay": {
+                "seconds": result.replay_seconds,
+                "events_per_second": round(
+                    result.replay_events_per_second, 1
+                ),
+            },
+            "snapshot_jobs1": {
+                "check_seconds": result.snapshot_check_seconds,
+                "total_seconds": result.snapshot_total_seconds,
+                "access_events_per_second": round(
+                    result.snapshot_access_events_per_second, 1
+                ),
+            },
+            "fast": {
+                "encode_seconds": ft.get("encode_seconds", 0.0),
+                "structure_seconds": ft.get("structure_seconds", 0.0),
+                "access_seconds": ft.get("access_seconds", 0.0),
+                "total_seconds": ft.get("total_seconds", 0.0),
+                "events_per_second": round(
+                    result.fast_events_per_second, 1
+                ),
+                "access_events_per_second": round(
+                    result.fast_access_events_per_second, 1
+                ),
+            },
+            "speedup_access_vs_snapshot_jobs1": round(
+                result.speedup_access_vs_snapshot, 4
+            ),
+            "speedup_total_vs_replay": round(
+                result.speedup_total_vs_replay, 4
+            ),
+            "identical": result.identical,
+            "mismatches": result.mismatches,
+        })
+        print(
+            f"bench {name}: {result.num_access_events} accesses — "
+            f"replay {result.replay_events_per_second / 1e3:.0f}k ev/s, "
+            f"snapshot jobs=1 "
+            f"{result.snapshot_access_events_per_second / 1e3:.0f}k acc/s, "
+            f"fast {result.fast_access_events_per_second / 1e3:.0f}k acc/s "
+            f"(x{result.speedup_access_vs_snapshot:.2f} access, "
+            f"x{result.speedup_total_vs_replay:.2f} end-to-end), "
+            f"identical={result.identical}",
+            file=out,
+        )
+    data = {
+        "schema": THROUGHPUT_BENCH_SCHEMA,
         "scale": scale,
         "repeats": repeats,
         "cpu_count": os.cpu_count(),
@@ -217,6 +374,47 @@ def parallel_bench_data(
     if tag is not None:
         data["tag"] = tag
     return data
+
+
+def check_throughput_baseline(data: dict, baseline: dict, out=None) -> List[str]:
+    """Compare a ``repro.bench.throughput/1`` document against a
+    checked-in baseline; return a list of violation strings (empty = ok).
+
+    Two gates per workload named in the baseline:
+
+    * ``access_events_per_second`` — absolute floor with 10% tolerance.
+      Baseline values are recorded conservatively (well below a healthy
+      run) because shared-CI wall clocks vary severalfold.
+    * ``min_speedup_vs_snapshot`` — the fast path's access-throughput
+      ratio over the same-process PR 5 jobs=1 checker.  Box-speed
+      cancels out of the ratio, so this is the sharper gate.
+    """
+    rows = {w.get("name"): w for w in data.get("workloads", [])}
+    violations: List[str] = []
+    for name, gate in baseline.get("workloads", {}).items():
+        row = rows.get(name)
+        if row is None or "error" in row:
+            violations.append(f"{name}: missing from the run")
+            continue
+        floor = gate.get("access_events_per_second")
+        if floor is not None:
+            measured = row["fast"]["access_events_per_second"]
+            if measured < 0.9 * floor:
+                violations.append(
+                    f"{name}: fast access throughput {measured:.0f} ev/s "
+                    f"regressed >10% below baseline {floor:.0f} ev/s"
+                )
+        min_speedup = gate.get("min_speedup_vs_snapshot")
+        if min_speedup is not None:
+            measured = row["speedup_access_vs_snapshot_jobs1"]
+            if measured < min_speedup:
+                violations.append(
+                    f"{name}: speedup vs snapshot jobs=1 {measured:.2f} "
+                    f"below floor {min_speedup:.2f}"
+                )
+    for violation in violations:
+        print(f"baseline: {violation}", file=out or sys.stderr)
+    return violations
 
 
 def _parse_jobs_list(text: str) -> List[int]:
@@ -237,14 +435,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--scale", default="tiny",
-                        choices=("tiny", "small", "table2"))
+                        choices=("tiny", "small", "table2", "large"))
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--output", metavar="FILE", default=None,
-                        help="artifact path (default BENCH_PR4.json, or "
-                             "BENCH_PR5.json with --parallel)")
+                        help="artifact path (default BENCH_PR4.json, "
+                             "BENCH_PR5.json with --parallel, or "
+                             "BENCH_PR6.json with --throughput)")
     parser.add_argument("--parallel", action="store_true",
                         help="benchmark the two-phase sharded checker "
                              "instead of the live detector")
+    parser.add_argument("--throughput", action="store_true",
+                        help="race the single-thread checking engines "
+                             "(live replay / snapshot jobs=1 / flat-array "
+                             "fast path) over each recorded trace")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="with --throughput: fail if fast-path "
+                             "throughput regresses >10%% below this "
+                             "checked-in baseline")
     parser.add_argument("--jobs", type=_parse_jobs_list, default=[1, 2, 4],
                         metavar="N,N,...",
                         help="job counts for --parallel (default 1,2,4)")
@@ -274,12 +481,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         names = args.only
 
+    if args.parallel and args.throughput:
+        print("error: --parallel and --throughput are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.baseline and not args.throughput:
+        print("error: --baseline requires --throughput", file=sys.stderr)
+        return 2
+
     if args.parallel:
         output = args.output or "BENCH_PR5.json"
         data = parallel_bench_data(
             names, scale=args.scale, jobs=args.jobs, repeats=args.repeats,
             verify=not args.no_verify, backend=args.parallel_backend,
             tag=args.tag,
+        )
+    elif args.throughput:
+        output = args.output or "BENCH_PR6.json"
+        data = throughput_bench_data(
+            names, scale=args.scale, repeats=max(args.repeats, 2),
+            verify=not args.no_verify, tag=args.tag,
         )
     else:
         output = args.output or "BENCH_PR4.json"
@@ -293,16 +514,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     failed = [w["name"] for w in data["workloads"] if "error" in w]
     nondeterministic = [
         w["name"] for w in data["workloads"]
-        if not w.get("identical_across_jobs", True)
+        if not (w.get("identical_across_jobs", True)
+                and w.get("identical", True))
     ]
+    violations: List[str] = []
+    if args.baseline:
+        with open(args.baseline) as fh:
+            violations = check_throughput_baseline(data, json.load(fh))
     print(f"{len(data['workloads'])} workload(s) written to {output}")
     if nondeterministic:
-        print(f"error: non-identical results across job counts: "
+        print(f"error: non-identical results across engines/job counts: "
               f"{', '.join(nondeterministic)}", file=sys.stderr)
     if failed:
         print(f"error: {len(failed)} workload(s) failed: "
               f"{', '.join(failed)}", file=sys.stderr)
-    return 1 if failed or nondeterministic else 0
+    if violations:
+        print(f"error: {len(violations)} throughput baseline violation(s)",
+              file=sys.stderr)
+    return 1 if failed or nondeterministic or violations else 0
 
 
 if __name__ == "__main__":

@@ -44,6 +44,18 @@ class Metrics:
     def num_shared_accesses(self) -> int:
         return self.num_reads + self.num_writes
 
+    @property
+    def num_events(self) -> int:
+        """Total instrumented events: accesses plus the structure stream
+        (create + end per spawned task, one get per join, start + end per
+        explicit finish scope) — the same count a trace recorder captures."""
+        return (
+            self.num_shared_accesses
+            + 2 * self.num_tasks
+            + self.num_gets
+            + 2 * self.num_finish_scopes
+        )
+
     def as_row(self) -> Dict[str, int]:
         return {
             "#Tasks": self.num_tasks,

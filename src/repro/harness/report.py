@@ -33,7 +33,12 @@ def render_table(rows: Sequence[Dict[str, Any]]) -> str:
         for c in columns:
             value = row.get(c, "")
             if isinstance(value, float):
-                text = f"{value:,.2f}"
+                # Throughput-scale floats (events/s) read better without
+                # fractional digits; small ratios keep two.
+                text = (
+                    f"{value:,.0f}" if abs(value) >= 10000
+                    else f"{value:,.2f}"
+                )
             elif isinstance(value, int):
                 text = f"{value:,}"
             else:

@@ -36,10 +36,12 @@ __all__ = [
     "BenchmarkDef",
     "BenchmarkResult",
     "ParallelBenchResult",
+    "ThroughputBenchResult",
     "BENCHMARKS",
     "EXTENDED_BENCHMARKS",
     "run_benchmark",
     "run_parallel_benchmark",
+    "run_throughput_benchmark",
 ]
 
 
@@ -121,6 +123,16 @@ class BenchmarkResult:
             return 0.0
         return self.racedet_seconds / self.instrumented_seconds
 
+    @property
+    def events_per_second(self) -> float:
+        """Detected-run throughput: all instrumented events (accesses +
+        structure) over the Racedet wall time.  Includes workload compute,
+        so it *under*-states pure checking throughput — the trace-replay
+        numbers in ``repro-bench --throughput`` isolate that."""
+        if not self.racedet_seconds:
+            return 0.0
+        return self.metrics.num_events / self.racedet_seconds
+
     def row(self) -> Dict[str, Any]:
         row = {
             "Benchmark": self.name,
@@ -138,6 +150,7 @@ class BenchmarkResult:
             "Racedet (ms)": round(self.racedet_seconds * 1e3, 1),
             "Slowdown": round(self.slowdown_vs_seq, 2),
             "Slowdown/Instr": round(self.slowdown_vs_instrumented, 2),
+            "Events/s": round(self.events_per_second),
         })
         return row
 
@@ -217,6 +230,7 @@ def run_parallel_benchmark(
         best_total = float("inf")
         best_check = float("inf")
         best_freeze = float("inf")
+        best_build = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
             result = check_trace_parallel(trace, jobs=n, backend=backend)
@@ -227,6 +241,9 @@ def run_parallel_benchmark(
             )
             best_freeze = min(
                 best_freeze, result.timings["freeze_seconds"]
+            )
+            best_build = min(
+                best_build, result.timings["build_seconds"]
             )
         assert result is not None
         if golden_summary is None:
@@ -239,12 +256,24 @@ def run_parallel_benchmark(
             "seconds": best_total,
             "check_seconds": best_check,
             "freeze_seconds": best_freeze,
+            "build_seconds": best_build,
         }
     assert result is not None
     base = per_jobs.get(jobs[0], {}).get("seconds", 0.0)
+    num_events = result.num_events
+    num_access = result.num_access_events
     for n in jobs:
         row = per_jobs[n]
         row["speedup"] = base / row["seconds"] if row["seconds"] else 0.0
+        # Structure-vs-access phase split: build_seconds is the structure
+        # pass (DTRG construction + bucketing), check_seconds the access
+        # (shadow-check) fan-out.
+        row["events_per_second"] = (
+            num_events / row["seconds"] if row["seconds"] else 0.0
+        )
+        row["access_events_per_second"] = (
+            num_access / row["check_seconds"] if row["check_seconds"] else 0.0
+        )
     snapshot_bytes = result.snapshot.nbytes
     return ParallelBenchResult(
         name=name,
@@ -261,6 +290,179 @@ def run_parallel_benchmark(
         ),
         identical=identical,
         per_jobs=per_jobs,
+    )
+
+
+@dataclass
+class ThroughputBenchResult:
+    """One workload's trace checked by three single-thread engines
+    back-to-back in the same process (box speed varies across runs, so
+    only same-process ratios are meaningful):
+
+    * ``replay`` — the live object-graph detector re-driven over the
+      recorded events (the PR 1–4 path);
+    * ``snapshot_jobs1`` — the two-phase sharded checker at ``jobs=1``
+      (the PR 5 pure-Python baseline the acceptance ratio is against);
+    * ``fast`` — :func:`repro.core.fastcheck.check_trace_fast` over the
+      batched :class:`~repro.core.events.EncodedTrace` and the flat-array
+      live DTRG (the PR 6 hot path).
+
+    ``identical`` records the bit-equivalence contract: all three engines
+    produced the same ``RaceReport.summary()`` text, the same ordered race
+    pair list, and the same invariant perf counters (``precede_queries``,
+    ``mutation_epoch``, ``shadow_fast_hits``, ``precede_calls_saved``).
+    """
+
+    name: str
+    scale: str
+    num_events: int
+    num_access_events: int
+    num_structure_events: int
+    num_tasks: int
+    num_locations: int
+    races: int
+    replay_seconds: float
+    snapshot_check_seconds: float   #: jobs=1 shadow-check stage wall time
+    snapshot_total_seconds: float
+    fast_timings: Dict[str, float]  #: encode/structure/access/total seconds
+    identical: bool
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def replay_events_per_second(self) -> float:
+        s = self.replay_seconds
+        return self.num_events / s if s else 0.0
+
+    @property
+    def snapshot_access_events_per_second(self) -> float:
+        s = self.snapshot_check_seconds
+        return self.num_access_events / s if s else 0.0
+
+    @property
+    def fast_events_per_second(self) -> float:
+        s = self.fast_timings.get("total_seconds", 0.0)
+        return self.num_events / s if s else 0.0
+
+    @property
+    def fast_access_events_per_second(self) -> float:
+        s = self.fast_timings.get("access_seconds", 0.0)
+        return self.num_access_events / s if s else 0.0
+
+    @property
+    def speedup_access_vs_snapshot(self) -> float:
+        """The acceptance ratio: access-check throughput of the fast path
+        over the PR 5 jobs=1 checker, same trace, same process."""
+        s = self.snapshot_access_events_per_second
+        return self.fast_access_events_per_second / s if s else 0.0
+
+    @property
+    def speedup_total_vs_replay(self) -> float:
+        s = self.fast_timings.get("total_seconds", 0.0)
+        return self.replay_seconds / s if s else 0.0
+
+
+_INVARIANT_PERF = (
+    "precede_queries", "mutation_epoch",
+    "shadow_fast_hits", "precede_calls_saved",
+)
+
+
+def run_throughput_benchmark(
+    name: str,
+    scale: str = "small",
+    *,
+    repeats: int = 2,
+    verify: bool = True,
+) -> ThroughputBenchResult:
+    """Record one workload's trace, then race the three single-thread
+    checking engines over it (see :class:`ThroughputBenchResult`).
+
+    All engines run back-to-back in this process on the *same* recorded
+    stream; wall times are best-of-``repeats`` per engine.  Equivalence is
+    asserted into ``identical``/``mismatches`` rather than raised so a
+    violation still lands in the artifact (and the CLI exits non-zero)."""
+    from repro.core.events import encode_trace
+    from repro.core.fastcheck import check_trace_fast
+    from repro.core.parallel_check import check_trace_parallel
+    from repro.memory.tracer import TraceRecorder, replay_trace
+
+    bench = BENCHMARKS.get(name) or EXTENDED_BENCHMARKS[name]
+    params = bench.params(scale)
+    recorder = TraceRecorder()
+    run = run_instrumented(
+        lambda rt: bench.parallel(rt, params),
+        detect=False,
+        extra_observers=(recorder,),
+    )
+    if verify:
+        bench.verify(params, run.result)
+    trace = recorder.trace
+    t_enc = time.perf_counter()
+    encoded = encode_trace(trace)
+    encode_seconds = time.perf_counter() - t_enc
+
+    from repro.core.detector import DeterminacyRaceDetector
+
+    replay_best = float("inf")
+    detector = None
+    for _ in range(repeats):
+        detector = DeterminacyRaceDetector()
+        start = time.perf_counter()
+        replay_trace(trace, [detector])
+        replay_best = min(replay_best, time.perf_counter() - start)
+
+    snap_check_best = float("inf")
+    snap_total_best = float("inf")
+    snap = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        snap = check_trace_parallel(trace, jobs=1, backend="inline")
+        snap_total_best = min(snap_total_best, time.perf_counter() - start)
+        snap_check_best = min(
+            snap_check_best, snap.timings["check_seconds"]
+        )
+
+    fast = None
+    fast_timings: Dict[str, float] = {}
+    for _ in range(repeats):
+        fast = check_trace_fast(encoded)
+        for key, value in fast.timings.items():
+            fast_timings[key] = min(fast_timings.get(key, value), value)
+    # The encode pass ran once, outside the repeat loop — report it.
+    fast_timings["encode_seconds"] = encode_seconds
+
+    assert detector is not None and snap is not None and fast is not None
+    mismatches: List[str] = []
+    golden_summary = detector.report.summary()
+    golden_pairs = [r.pair_key for r in detector.races]
+    for label, res in (("snapshot_jobs1", snap), ("fast", fast)):
+        if res.summary() != golden_summary:
+            mismatches.append(f"{label}: summary differs from replay")
+        if [r.pair_key for r in res.races] != golden_pairs:
+            mismatches.append(f"{label}: race list differs from replay")
+        stats = res.perf_stats
+        golden_stats = detector.perf_stats
+        for key in _INVARIANT_PERF:
+            if stats[key] != golden_stats[key]:
+                mismatches.append(
+                    f"{label}: {key} {stats[key]} != {golden_stats[key]}"
+                )
+
+    return ThroughputBenchResult(
+        name=name,
+        scale=scale,
+        num_events=fast.num_events,
+        num_access_events=fast.num_access_events,
+        num_structure_events=fast.num_structure_events,
+        num_tasks=fast.num_tasks,
+        num_locations=fast.num_locations,
+        races=len(fast.races),
+        replay_seconds=replay_best,
+        snapshot_check_seconds=snap_check_best,
+        snapshot_total_seconds=snap_total_best,
+        fast_timings=fast_timings,
+        identical=not mismatches,
+        mismatches=mismatches,
     )
 
 

@@ -97,6 +97,10 @@ ABLATIONS = {
     "dtrg[no-lsa]": dict(use_lsa=False),
     "dtrg[no-memo]": dict(memoize_visit=False),
     "dtrg[no-intervals]": dict(use_intervals=False),
+    # Not an optimization *off* but an alternate engine: the flat-array
+    # live DTRG (core/array_dtrg.py) must agree with the oracle and, by
+    # transitivity, bit-match the object-graph default.
+    "dtrg[array]": dict(engine="array"),
 }
 #: Detectors exercised in wild mode (no refusal semantics there).
 WILD = (ORACLE,) + GENERAL

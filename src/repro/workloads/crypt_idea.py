@@ -62,6 +62,7 @@ def default_params(scale: str = "small") -> CryptParams:
         "tiny": CryptParams(num_blocks=32, num_chunks=8),
         "small": CryptParams(num_blocks=256, num_chunks=32),
         "table2": CryptParams(num_blocks=2048, num_chunks=128),
+        "large": CryptParams(num_blocks=16384, num_chunks=512),
     }[scale]
 
 

@@ -61,6 +61,8 @@ def default_params(scale: str = "small") -> JacobiParams:
         "tiny": JacobiParams(interior=8, tile=4, sweeps=2),
         "small": JacobiParams(interior=32, tile=8, sweeps=4),
         "table2": JacobiParams(interior=64, tile=16, sweeps=4),
+        # ~1.1M shared accesses — the throughput-benchmark stream.
+        "large": JacobiParams(interior=192, tile=32, sweeps=6),
     }[scale]
 
 

@@ -58,6 +58,7 @@ def default_params(scale: str = "small") -> LUParams:
         "tiny": LUParams(n=16, tile=8),
         "small": LUParams(n=32, tile=8),
         "table2": LUParams(n=64, tile=16),
+        "large": LUParams(n=128, tile=16),
     }[scale]
 
 

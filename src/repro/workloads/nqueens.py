@@ -45,6 +45,7 @@ def default_params(scale: str = "small") -> NQueensParams:
         "tiny": NQueensParams(n=5, cutoff=1),
         "small": NQueensParams(n=6, cutoff=2),
         "table2": NQueensParams(n=8, cutoff=2),
+        "large": NQueensParams(n=10, cutoff=3),
     }[scale]
 
 

@@ -43,6 +43,7 @@ def default_params(scale: str = "small") -> ReduceParams:
         "tiny": ReduceParams(size=16, cutoff=4),
         "small": ReduceParams(size=64, cutoff=8),
         "table2": ReduceParams(size=512, cutoff=16),
+        "large": ReduceParams(size=8192, cutoff=16),
     }[scale]
 
 

@@ -45,6 +45,7 @@ def default_params(scale: str = "small") -> SeriesParams:
         "tiny": SeriesParams(n=16, intervals=24),
         "small": SeriesParams(n=128, intervals=100),
         "table2": SeriesParams(n=1000, intervals=200),
+        "large": SeriesParams(n=8000, intervals=200),
     }[scale]
 
 

@@ -60,6 +60,7 @@ def default_params(scale: str = "small") -> SWParams:
         "tiny": SWParams(length=16, tile=8),
         "small": SWParams(length=64, tile=16),
         "table2": SWParams(length=160, tile=20),
+        "large": SWParams(length=480, tile=24),
     }[scale]
 
 

@@ -59,6 +59,7 @@ def default_params(scale: str = "small") -> SORParams:
         "tiny": SORParams(interior=8, rows_per_task=4, sweeps=1),
         "small": SORParams(interior=16, rows_per_task=4, sweeps=2),
         "table2": SORParams(interior=32, rows_per_task=8, sweeps=4),
+        "large": SORParams(interior=96, rows_per_task=8, sweeps=8),
     }[scale]
 
 

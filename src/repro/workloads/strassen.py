@@ -66,6 +66,7 @@ def default_params(scale: str = "small") -> StrassenParams:
         "tiny": StrassenParams(n=16, cutoff=8),
         "small": StrassenParams(n=32, cutoff=16),
         "table2": StrassenParams(n=64, cutoff=16),
+        "large": StrassenParams(n=128, cutoff=16),
     }[scale]
 
 
