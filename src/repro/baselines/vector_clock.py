@@ -17,11 +17,25 @@ Clock discipline (serial DFS drives it, but the happens-before relation
 tracked is the full computation-graph relation):
 
 * spawn of ``C`` by ``P``: ``VC(C) = VC(P) ⊔ {C: 1}``, then ``P`` ticks;
-* task end: the final clock is frozen for joiners;
-* ``get``/finish join of ``B`` into ``A``: ``VC(A) ⊔= VC_final(B)``, tick;
+* task end: the final clock is frozen (a *copy* — the live dict would
+  otherwise alias state a later join could in principle mutate);
+* ``get``/finish join of ``B`` into ``A``: ``VC(A) ⊔= VC_final(B)``, tick.
+  The future ``get`` edge goes through exactly the same component-wise
+  max as the end-finish join — the join rule is what makes this baseline
+  *general* rather than async/finish-only, and it is pinned by the
+  regression corpus entry ``tests/corpus/vc_future_get_join.json`` and
+  audited against the brute-force oracle over thousands of future-heavy
+  fuzz seeds (the ``vector-clock`` parity row).  A join whose producer
+  has not ended is rejected with a pointed error: the runtime can never
+  emit one (``get`` waits), so it signals a malformed hand-built or
+  truncated trace, which used to surface as a bare ``KeyError``;
 * access check via epochs: an access by ``t`` is stamped ``(t, VC(t)[t])``;
   a stamped access ``(u, c)`` happens-before current task ``t`` iff
   ``VC(t)[u] >= c``.
+
+The same clock algebra, behind the detector's backend protocol instead
+of a private shadow memory, is :class:`repro.core.vc_backend.VectorClockBackend`
+(``DeterminacyRaceDetector(engine="vc")``).
 
 Shadow memory: last-write epoch plus a read *map* (task → epoch) per
 location; unlike the DTRG detector no bounded-reader lemma applies, so the
@@ -80,7 +94,12 @@ class VectorClockDetector(BaselineDetector):
         pvc[parent.tid] = pvc.get(parent.tid, 0) + 1
 
     def on_task_end(self, task) -> None:
-        self._final[task.tid] = self._clocks[task.tid]
+        # Freeze by copy: joiners must see the clock as of the task's
+        # last step.  (The live dict happens never to be mutated again —
+        # only join *destinations* mutate, and a terminated task is never
+        # a destination — but aliasing made that a global invariant
+        # instead of a local one.)
+        self._final[task.tid] = dict(self._clocks[task.tid])
 
     def on_get(self, consumer, producer) -> None:
         self._join(consumer.tid, producer.tid)
@@ -115,7 +134,14 @@ class VectorClockDetector(BaselineDetector):
     # ------------------------------------------------------------------ #
     def _join(self, dst: int, src: int) -> None:
         dvc = self._clocks[dst]
-        svc = self._final[src]
+        svc = self._final.get(src)
+        if svc is None:
+            raise ValueError(
+                f"vector-clock join of task {src} before its task-end "
+                "event: a get() cannot return before its producer ends, "
+                "so the event stream is not a serial depth-first "
+                "execution order"
+            )
         self.total_clock_entries_copied += len(svc)
         for t, c in svc.items():
             if dvc.get(t, 0) < c:

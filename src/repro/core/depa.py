@@ -1,0 +1,225 @@
+"""DePa-style dag-path order maintenance for the fork-join fragment.
+
+Westrick, Fluet, Rainey & Acar ("DePa: Simple, Provably Efficient, and
+Practical Order Maintenance for Task Parallelism", arXiv:2204.14168)
+maintain, per task, a *dag path* — a compact encoding of the path from
+the dag's root to the task's current vertex — such that two vertices are
+ordered iff their paths compare prefix-wise.  Queries touch only the two
+labels (no shared structure, no union-find), which is what makes the
+scheme attractive as an alternative PRECEDE engine: ``precede`` is a
+single label comparison, spawns are O(1) appends, and end-finish joins
+are a pop.
+
+This backend implements that idea for the **fork-join fragment** of our
+model (``async``/``finish``, plus futures that are never ``get`` — such
+futures join their IEF exactly like asyncs).  Labels are sequences of
+``(position, branch)`` pairs:
+
+- Every task owns a *spine* along which ``position`` counts its
+  sequential steps: each spawn and each closed finish scope advances it.
+- A spawn at position ``s`` hangs the child off pair ``(s, B)`` with a
+  globally unique branch id ``B ≥ 1``; the parent's continuation
+  proceeds at ``(s + 1, ·)``, which is how a child and the continuation
+  compare as *parallel* (distinct branches, neither 0).
+- ``finish`` pushes pair ``(s, 0)`` (branch 0 = "the spine itself") and
+  restarts positions inside the scope; ``end_finish`` pops and resumes
+  the spine at ``s + 1`` — so anything labelled inside the scope
+  compares *before* everything at positions ``> s``.  That single pop
+  is the entire join: no per-task merge work.
+- A task's current vertex is ``base + (position, 0)``; terminating
+  freezes that as the task's end label.
+
+``precede(a, b)`` (with ``b`` the currently executing task — see
+``repro.core.backend``) compares labels at the first differing pair
+``(s1, b1)`` vs ``(s2, b2)``:
+
+===============  ========================================================
+``b1 == b2``      same spine: ordered by position, ``s1 < s2``
+``b1 == 0``       ``a`` sits in a finish scope (or ended) at ``s1``;
+                  ``b`` branched at ``s2``: ordered iff the scope closed
+                  first, i.e. ``s1 <= s2`` (equality is unreachable —
+                  a position hosts one spawn *or* one scope)
+``b2 == 0``       ``a`` branched off a scope ``b`` is still inside —
+                  ``a`` has not joined: parallel
+both ``>= 1``     two un-joined branches of one spine: parallel (a
+                  closed finish between them would have left a
+                  ``(s, 0)`` pair separating the labels)
+===============  ========================================================
+
+For a still-running ``a`` the comparison uses ``a``'s immutable spawn
+path, whose final pair carries ``a``'s unique branch id: it is a prefix
+of ``b``'s label iff ``a`` is a spawn ancestor of ``b``, and under the
+serial depth-first execution the live tasks are exactly the current
+task's ancestor chain, every completed step of which precedes the
+current step.
+
+The fragment boundary is explicit: **future ``get`` edges are
+declined.**  A ``get`` creates a non-tree join that no path-shaped
+label can witness without auxiliary structure (that is precisely the
+paper's motivation for the DTRG), so :meth:`record_join` raises
+:class:`~repro.runtime.errors.UnsupportedConstructError` rather than
+answer later queries wrongly.  The fuzzer counts that as a *refusal*
+(like the restricted SP-bags family) and the property sweep in
+``tests/properties/test_backend_equivalence.py`` pins the exact
+boundary: declines iff the program executed a ``get``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.runtime.errors import UnsupportedConstructError
+
+__all__ = ["DePaBackend"]
+
+# A label is a flat tuple (s0, b0, s1, b1, ...) — flat to keep
+# comparisons allocation-free tuple walks rather than nested-pair
+# traversals.
+_Label = Tuple[int, ...]
+
+
+class DePaBackend:
+    """Order-maintenance PRECEDE engine for async/finish programs.
+
+    Implements the :class:`repro.core.backend.PrecedeBackend` protocol.
+    ``cache`` is ``None`` (there is nothing to cache: a query *is* one
+    label comparison); the invariant counters ``mutation_epoch`` and
+    ``num_precede_queries`` follow the protocol's determinism contract.
+    """
+
+    __slots__ = (
+        "_base",
+        "_pos",
+        "_fstack",
+        "_end",
+        "_spawn_path",
+        "_alive",
+        "_next_branch",
+        "mutation_epoch",
+        "num_precede_queries",
+        "cache",
+    )
+
+    def __init__(self) -> None:
+        #: key -> immutable label prefix (spawn path + open finish pairs).
+        self._base: Dict[Hashable, _Label] = {}
+        #: key -> current position on the task's innermost spine.
+        self._pos: Dict[Hashable, int] = {}
+        #: key -> stack of (base, position) saved at begin_finish.
+        self._fstack: Dict[Hashable, List[Tuple[_Label, int]]] = {}
+        #: key -> frozen end label (terminated tasks only).
+        self._end: Dict[Hashable, _Label] = {}
+        #: key -> spawn path: the child's base at creation, whose final
+        #: pair carries the child's globally unique branch id.
+        self._spawn_path: Dict[Hashable, _Label] = {}
+        self._alive: Dict[Hashable, bool] = {}
+        self.mutation_epoch = 0
+        self.num_precede_queries = 0
+        self.cache = None
+        self._next_branch = 1
+
+    # ------------------------------------------------------------------ #
+    # Structural mutators                                                #
+    # ------------------------------------------------------------------ #
+    def add_root(self, key: Hashable, *, name: str = "") -> None:
+        self._base[key] = ()
+        self._pos[key] = 0
+        self._fstack[key] = []
+        self._spawn_path[key] = ()
+        self._alive[key] = True
+        self.mutation_epoch += 1
+
+    def add_task(
+        self,
+        parent_key: Hashable,
+        child_key: Hashable,
+        *,
+        is_future: bool = False,
+        name: str = "",
+    ) -> None:
+        branch = self._next_branch
+        self._next_branch = branch + 1
+        path = self._base[parent_key] + (self._pos[parent_key], branch)
+        self._pos[parent_key] += 1
+        self._base[child_key] = path
+        self._pos[child_key] = 0
+        self._fstack[child_key] = []
+        self._spawn_path[child_key] = path
+        self._alive[child_key] = True
+        self.mutation_epoch += 1
+
+    def on_terminate(self, key: Hashable) -> None:
+        # Finish scopes are well-nested within task bodies, so the base
+        # has popped back to the spawn path by now.
+        self._end[key] = self._base[key] + (self._pos[key], 0)
+        self._alive[key] = False
+        self.mutation_epoch += 1
+
+    def begin_finish(self, owner_key: Hashable) -> None:
+        base, pos = self._base[owner_key], self._pos[owner_key]
+        self._fstack[owner_key].append((base, pos))
+        self._base[owner_key] = base + (pos, 0)
+        self._pos[owner_key] = 0
+        self.mutation_epoch += 1
+
+    def end_finish(self, owner_key: Hashable) -> None:
+        base, saved_pos = self._fstack[owner_key].pop()
+        self._base[owner_key] = base
+        self._pos[owner_key] = saved_pos + 1
+        self.mutation_epoch += 1
+
+    def record_join(
+        self, consumer_key: Hashable, producer_key: Hashable
+    ) -> None:
+        raise UnsupportedConstructError(
+            "DePa order-maintenance labels cover the fork-join fragment "
+            "only: a future get() is a non-tree join no dag-path label "
+            "can witness (use engine='object'/'array'/'vc' for programs "
+            "with gets)"
+        )
+
+    def merge(self, ancestor_key: Hashable, descendant_key: Hashable) -> None:
+        # End-finish joins are realized by end_finish's pop: once the
+        # owner resumes at position s+1, every label minted inside the
+        # scope compares before it.  The per-task merge carries no
+        # information the labels don't already have.
+        self.mutation_epoch += 1
+
+    # ------------------------------------------------------------------ #
+    # Query                                                              #
+    # ------------------------------------------------------------------ #
+    def precede(self, a_key: Hashable, b_key: Hashable) -> bool:
+        self.num_precede_queries += 1
+        if a_key == b_key:
+            return True
+        lb = self._base[b_key] + (self._pos[b_key], 0)
+        if self._alive[a_key]:
+            # Live task: ancestor iff a's spawn path (ending in a's
+            # unique branch id) prefixes b's current label.
+            la = self._spawn_path[a_key]
+            return lb[: len(la)] == la
+        la = self._end[a_key]
+        n = min(len(la), len(lb))
+        for i in range(0, n, 2):
+            s1, b1 = la[i], la[i + 1]
+            s2, b2 = lb[i], lb[i + 1]
+            if s1 == s2 and b1 == b2:
+                continue
+            if b1 == b2:
+                return s1 < s2
+            if b1 == 0:
+                return s1 <= s2
+            return False
+        # One label prefixes the other — unreachable for well-nested
+        # fork-join streams (a terminated task's terminal pair cannot
+        # appear inside another label); answer by length defensively.
+        return len(la) <= len(lb)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests / docs)                                       #
+    # ------------------------------------------------------------------ #
+    def current_label(self, key: Hashable) -> _Label:
+        """The task's current vertex label (frozen end label if ended)."""
+        if not self._alive[key]:
+            return self._end[key]
+        return self._base[key] + (self._pos[key], 0)

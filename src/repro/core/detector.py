@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Hashable, Optional
 
+from repro.core.backend import resolve_engine
 from repro.core.events import ExecutionObserver
 from repro.core.races import AccessKind, Race, RaceReport, ReportPolicy
 from repro.core.reachability import DynamicTaskReachabilityGraph
@@ -66,6 +67,14 @@ class DeterminacyRaceDetector(ExecutionObserver):
         epoch-memoized same-task read fast path.  Default on; switch off
         to measure the paper's plain algorithms (``bench_ablations.py``,
         ``bench_precede_cache.py``).
+    engine:
+        The PRECEDE backend (see :mod:`repro.core.backend`):
+        ``"object"``/``"dtrg"`` (the paper's DTRG, default),
+        ``"array"`` (flat-array DTRG, §13), ``"depa"`` (order-maintenance
+        labels for the fork-join fragment — declines future ``get``
+        edges with :class:`~repro.runtime.errors.UnsupportedConstructError`),
+        or ``"vc"`` (future-aware vector clocks).  All engines produce
+        bit-identical race lists on the fragments they support.
     obs:
         Optional :class:`repro.obs.Observability` sink.  When enabled it
         is attached to the DTRG (PRECEDE latency/frontier/cache-outcome
@@ -116,8 +125,7 @@ class DeterminacyRaceDetector(ExecutionObserver):
         if isinstance(policy, str):
             policy = ReportPolicy(policy)
         self.policy = policy
-        if engine not in ("object", "array"):
-            raise ValueError(f"unknown DTRG engine {engine!r}")
+        engine = resolve_engine(engine)
         self.engine = engine
         self.report = RaceReport(dedupe=dedupe)
         self.obs = (
@@ -134,28 +142,41 @@ class DeterminacyRaceDetector(ExecutionObserver):
         else:
             self.provenance = None
             self._witness_cls = None
-        if engine == "array":
-            # Flat-array live DTRG (repro.core.array_dtrg).  It implements
-            # only the paper's default strategy and always runs cache-less
-            # (verdict-cache hit counts depend on physical union-find root
-            # identity, which legitimately differs between engines), so the
-            # ablation switches, observability hooks and witness builder
-            # are object-engine-only.  cache_precede still gates the shadow
-            # memory's epoch memo below, keeping shadow_fast_hits /
-            # precede_calls_saved bit-identical to the default detector.
+        if engine != "object":
+            # Alternative PRECEDE backends (repro.core.backend): the flat
+            # array DTRG, the DePa order-maintenance labels and the
+            # future-aware vector clocks implement only the paper's
+            # default query strategy (the Algorithm 10 ablation switches
+            # are object-graph concepts), and none carry the
+            # observability hooks or the explain_precede witness builder.
+            # cache_precede still gates the shadow memory's epoch memo
+            # below; for engine='array' that keeps shadow_fast_hits /
+            # precede_calls_saved bit-identical to the default detector
+            # (depa/vc have their own epoch schedules — see
+            # docs/ALGORITHM.md §14).
             if not (use_lsa and memoize_visit and use_intervals):
                 raise ValueError(
-                    "engine='array' implements the default query strategy "
-                    "only; ablation switches require engine='object'"
+                    f"engine={engine!r} implements the default query "
+                    "strategy only; ablation switches require "
+                    "engine='object'"
                 )
             if self.obs is not None or self.provenance is not None:
                 raise ValueError(
-                    "engine='array' does not support observability or "
+                    f"engine={engine!r} does not support observability or "
                     "provenance attachments; use engine='object'"
                 )
-            from repro.core.array_dtrg import ArrayDTRG
+            if engine == "array":
+                from repro.core.array_dtrg import ArrayDTRG
 
-            self.dtrg = ArrayDTRG()
+                self.dtrg = ArrayDTRG()
+            elif engine == "depa":
+                from repro.core.depa import DePaBackend
+
+                self.dtrg = DePaBackend()
+            else:
+                from repro.core.vc_backend import VectorClockBackend
+
+                self.dtrg = VectorClockBackend()
         else:
             self.dtrg = DynamicTaskReachabilityGraph(
                 use_lsa=use_lsa,
@@ -221,12 +242,20 @@ class DeterminacyRaceDetector(ExecutionObserver):
         """Algorithm 4: tree join (merge) or non-tree join (record edge)."""
         self.dtrg.record_join(consumer.tid, producer.tid)
 
+    def on_finish_start(self, scope) -> None:
+        """Algorithm 5: scope bookkeeping lives in the runtime; backends
+        that maintain finish-scoped labels (DePa) observe the boundary.
+        The DTRG engines implement ``begin_finish`` as an epoch-free
+        no-op, so the object/array counter contract is untouched."""
+        self.dtrg.begin_finish(scope.owner.tid)
+
     def on_finish_end(self, scope) -> None:
         """Algorithm 6: merge every task whose IEF is this scope into the
-        owner task's set."""
+        owner task's set, then close the scope for label backends."""
         owner = scope.owner.tid
         for task in scope.joins:
             self.dtrg.merge(owner, task.tid)
+        self.dtrg.end_finish(owner)
 
     def on_read(self, task, loc: Hashable) -> None:
         """Algorithm 9 via the shadow memory."""

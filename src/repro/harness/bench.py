@@ -72,13 +72,46 @@ Schema (``repro.bench.throughput/1``)::
        "speedup_total_vs_replay": ...,
        "identical": ..., "mismatches": [...]}, ...]}
 
+``--backends`` races every pluggable PRECEDE backend
+(``DeterminacyRaceDetector(engine=…)`` — object-graph dtrg, flat-array,
+DePa order-maintenance labels, future-aware vector clocks; see
+docs/ALGORITHM.md §14) head-to-head over each workload's recorded trace
+and writes ``BENCH_PR7.json`` by default.  ``--scales`` takes a comma
+list so one artifact can cover several scales::
+
+    repro-bench --backends --scales table2,large --markdown docs/BACKENDS.md
+
+Per workload × scale the document records each engine's replay wall
+time, events/s, race count and perf counters, plus a status: ``ok``,
+``declined`` (DePa refusing a future ``get`` — an honest fragment
+boundary, reported as data, never an error) or ``error``.  Completed
+engines are gated on reproducing the dtrg engine's summary text and
+ordered race pair list bit-for-bit (``identical``); perf counters are
+per-engine invariants and are reported, not gated.  ``--markdown FILE``
+additionally renders the comparison table as markdown.
+
+Schema (``repro.bench.backends/1``)::
+
+    {"schema": "repro.bench.backends/1", "scales": [...], "repeats": ...,
+     "cpu_count": ..., "tag": ..., "workloads": [{"name": ...,
+       "scale": ..., "num_events": ..., "num_access_events": ...,
+       "num_tasks": ..., "num_gets": ..., "races": ...,
+       "identical": ..., "mismatches": [...], "engines": {
+         "dtrg": {"status": "ok", "seconds": ...,
+                  "events_per_second": ..., "races": ..., "perf": {...}},
+         "depa": {"status": "declined", "detail": ...}, ...}}, ...]}
+
 ``--baseline FILE`` (throughput mode) gates against a checked-in
 baseline (``benchmarks/throughput_baseline.json``): the run fails if any
 workload's fast-path ``access_events_per_second`` drops more than 10%
 below the baseline value, or if its speedup over the same-process
 snapshot baseline falls below the recorded floor.  Baseline absolute
 numbers are deliberately conservative — shared-CI wall clocks vary
-severalfold — while the speedup floor is box-speed-independent.
+severalfold — while the speedup floor is box-speed-independent.  With
+``--backends`` the same flag gates the **dtrg rows only** against
+``benchmarks/backends_baseline.json`` (conservative
+``dtrg_events_per_second`` floors at the baseline's scale); the other
+engines are compared for verdict identity, never for speed.
 
 Exit status: 0 on success, 1 if any workload failed verification or
 raised (or, with ``--parallel``, broke the determinism contract; or,
@@ -96,8 +129,10 @@ from dataclasses import asdict
 from typing import List, Optional, Sequence
 
 from repro.harness.runner import (
+    BACKEND_ENGINES,
     BENCHMARKS,
     EXTENDED_BENCHMARKS,
+    run_backend_benchmark,
     run_benchmark,
     run_parallel_benchmark,
     run_throughput_benchmark,
@@ -105,13 +140,17 @@ from repro.harness.runner import (
 
 __all__ = [
     "bench_data",
+    "backend_bench_data",
+    "backends_markdown",
     "parallel_bench_data",
     "throughput_bench_data",
+    "check_backends_baseline",
     "check_throughput_baseline",
     "main",
 ]
 
 BENCH_SCHEMA = "repro.bench/1"
+BACKEND_BENCH_SCHEMA = "repro.bench.backends/1"
 PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
 THROUGHPUT_BENCH_SCHEMA = "repro.bench.throughput/1"
 
@@ -376,6 +415,143 @@ def throughput_bench_data(
     return data
 
 
+def backend_bench_data(
+    names: List[str],
+    *,
+    scales: Sequence[str] = ("table2",),
+    repeats: int = 2,
+    verify: bool = True,
+    tag: Optional[str] = None,
+    out=None,
+) -> dict:
+    """Run ``names`` at each scale through the PRECEDE backend
+    head-to-head and assemble the ``repro.bench.backends/1`` document
+    (see module docstring).  A ``declined`` engine row is data, not a
+    failure; an ``error`` row or a verdict mismatch fails the run."""
+    workloads: List[dict] = []
+    for scale in scales:
+        for name in names:
+            try:
+                result = run_backend_benchmark(
+                    name, scale, repeats=repeats, verify=verify
+                )
+            except Exception as exc:
+                print(f"bench {name}@{scale}: FAILED — "
+                      f"{type(exc).__name__}: {exc}",
+                      file=out or sys.stderr)
+                workloads.append({
+                    "name": name,
+                    "scale": scale,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            workloads.append({
+                "name": name,
+                "scale": result.scale,
+                "num_events": result.num_events,
+                "num_access_events": result.num_access_events,
+                "num_tasks": result.num_tasks,
+                "num_gets": result.num_gets,
+                "races": result.races,
+                "identical": result.identical,
+                "mismatches": result.mismatches,
+                "engines": result.per_engine,
+            })
+            cells = []
+            for engine in BACKEND_ENGINES:
+                row = result.per_engine.get(engine, {})
+                if row.get("status") == "ok":
+                    cells.append(f"{engine} "
+                                 f"{row['seconds'] * 1e3:.1f} ms")
+                else:
+                    cells.append(f"{engine} {row.get('status', '—')}")
+            print(
+                f"bench {name}@{scale}: {result.num_events} events, "
+                f"{result.races} race(s) — " + ", ".join(cells)
+                + f", identical={result.identical}",
+                file=out,
+            )
+    data = {
+        "schema": BACKEND_BENCH_SCHEMA,
+        "scales": list(scales),
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "workloads": workloads,
+    }
+    if tag is not None:
+        data["tag"] = tag
+    return data
+
+
+def backends_markdown(data: dict) -> str:
+    """Render a ``repro.bench.backends/1`` document as a markdown
+    comparison table, one row per workload × scale.  Cells show replay
+    wall milliseconds (``declined``/``error`` for incomplete rows); a
+    trailing column records the verdict-stream bit-identity gate."""
+    lines = [
+        "| Workload | Scale | #Events | #Gets | "
+        + " | ".join(f"{e} (ms)" for e in BACKEND_ENGINES)
+        + " | Races | Identical |",
+        "|---|---|---:|---:|" + "---:|" * len(BACKEND_ENGINES) + "---:|---|",
+    ]
+    for w in data.get("workloads", []):
+        if "error" in w:
+            lines.append(
+                f"| {w['name']} | {w.get('scale', '?')} | — | — |"
+                + " error |" * len(BACKEND_ENGINES) + " — | — |")
+            continue
+        cells = []
+        for engine in BACKEND_ENGINES:
+            row = w["engines"].get(engine, {})
+            if row.get("status") == "ok":
+                cells.append(f"{row['seconds'] * 1e3:.1f}")
+            else:
+                cells.append(row.get("status", "—"))
+        lines.append(
+            f"| {w['name']} | {w['scale']} | {w['num_events']:,} | "
+            f"{w['num_gets']:,} | " + " | ".join(cells)
+            + f" | {w['races']} | {'yes' if w['identical'] else 'NO'} |")
+    return "\n".join(lines) + "\n"
+
+
+def check_backends_baseline(data: dict, baseline: dict, out=None) -> List[str]:
+    """Compare a ``repro.bench.backends/1`` document against a
+    checked-in baseline; return violation strings (empty = ok).
+
+    The gate covers the **dtrg rows only**: the default engine's replay
+    throughput must not drop more than 10% below the (deliberately
+    conservative) ``dtrg_events_per_second`` floor at the baseline's
+    scale.  The other engines are compared, not gated — ``depa`` may
+    decline and ``vc``'s cost profile is the experiment, not a
+    regression."""
+    want_scale = baseline.get("scale")
+    rows = {
+        w.get("name"): w for w in data.get("workloads", [])
+        if want_scale is None or w.get("scale") == want_scale
+    }
+    violations: List[str] = []
+    for name, gate in baseline.get("workloads", {}).items():
+        row = rows.get(name)
+        if row is None or "error" in row:
+            violations.append(f"{name}: missing from the run")
+            continue
+        dtrg = row.get("engines", {}).get("dtrg", {})
+        if dtrg.get("status") != "ok":
+            violations.append(f"{name}: dtrg row did not complete")
+            continue
+        floor = gate.get("dtrg_events_per_second")
+        if floor is not None:
+            measured = dtrg["events_per_second"]
+            if measured < 0.9 * floor:
+                violations.append(
+                    f"{name}: dtrg replay throughput {measured:.0f} ev/s "
+                    f"regressed >10% below baseline {floor:.0f} ev/s"
+                )
+    for violation in violations:
+        print(f"baseline: {violation}", file=out or sys.stderr)
+    return violations
+
+
 def check_throughput_baseline(data: dict, baseline: dict, out=None) -> List[str]:
     """Compare a ``repro.bench.throughput/1`` document against a
     checked-in baseline; return a list of violation strings (empty = ok).
@@ -417,6 +593,19 @@ def check_throughput_baseline(data: dict, baseline: dict, out=None) -> List[str]
     return violations
 
 
+_SCALES = ("tiny", "small", "table2", "large")
+
+
+def _parse_scales_list(text: str) -> List[str]:
+    scales = [part.strip() for part in text.split(",") if part.strip()]
+    unknown = [s for s in scales if s not in _SCALES]
+    if not scales or unknown:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated scales from {', '.join(_SCALES)}, "
+            f"got {text!r}")
+    return scales
+
+
 def _parse_jobs_list(text: str) -> List[int]:
     try:
         jobs = [int(part) for part in text.split(",") if part.strip()]
@@ -448,10 +637,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="race the single-thread checking engines "
                              "(live replay / snapshot jobs=1 / flat-array "
                              "fast path) over each recorded trace")
+    parser.add_argument("--backends", action="store_true",
+                        help="race every PRECEDE backend (dtrg / array / "
+                             "depa / vc) over each recorded trace")
+    parser.add_argument("--scales", type=_parse_scales_list, default=None,
+                        metavar="S,S,...",
+                        help="with --backends: comma list of scales to "
+                             "cover in one artifact (default: --scale)")
+    parser.add_argument("--markdown", metavar="FILE", default=None,
+                        help="with --backends: also render the comparison "
+                             "table as markdown to FILE")
     parser.add_argument("--baseline", metavar="FILE", default=None,
-                        help="with --throughput: fail if fast-path "
-                             "throughput regresses >10%% below this "
-                             "checked-in baseline")
+                        help="with --throughput (or --backends): fail if "
+                             "fast-path (or dtrg-row) throughput "
+                             "regresses >10%% below this checked-in "
+                             "baseline")
     parser.add_argument("--jobs", type=_parse_jobs_list, default=[1, 2, 4],
                         metavar="N,N,...",
                         help="job counts for --parallel (default 1,2,4)")
@@ -481,15 +681,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         names = args.only
 
-    if args.parallel and args.throughput:
-        print("error: --parallel and --throughput are mutually exclusive",
+    if sum((args.parallel, args.throughput, args.backends)) > 1:
+        print("error: --parallel, --throughput and --backends are "
+              "mutually exclusive", file=sys.stderr)
+        return 2
+    if args.baseline and not (args.throughput or args.backends):
+        print("error: --baseline requires --throughput or --backends",
               file=sys.stderr)
         return 2
-    if args.baseline and not args.throughput:
-        print("error: --baseline requires --throughput", file=sys.stderr)
+    if (args.scales or args.markdown) and not args.backends:
+        print("error: --scales/--markdown require --backends",
+              file=sys.stderr)
         return 2
 
-    if args.parallel:
+    if args.backends:
+        output = args.output or "BENCH_PR7.json"
+        data = backend_bench_data(
+            names, scales=args.scales or [args.scale],
+            repeats=max(args.repeats, 2), verify=not args.no_verify,
+            tag=args.tag,
+        )
+        if args.markdown:
+            with open(args.markdown, "w") as fh:
+                fh.write(backends_markdown(data))
+            print(f"markdown table written to {args.markdown}")
+    elif args.parallel:
         output = args.output or "BENCH_PR5.json"
         data = parallel_bench_data(
             names, scale=args.scale, jobs=args.jobs, repeats=args.repeats,
@@ -520,7 +736,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     violations: List[str] = []
     if args.baseline:
         with open(args.baseline) as fh:
-            violations = check_throughput_baseline(data, json.load(fh))
+            baseline = json.load(fh)
+        if args.backends:
+            violations = check_backends_baseline(data, baseline)
+        else:
+            violations = check_throughput_baseline(data, baseline)
     print(f"{len(data['workloads'])} workload(s) written to {output}")
     if nondeterministic:
         print(f"error: non-identical results across engines/job counts: "

@@ -35,11 +35,14 @@ from repro.workloads.common import run_instrumented
 __all__ = [
     "BenchmarkDef",
     "BenchmarkResult",
+    "BackendBenchResult",
     "ParallelBenchResult",
     "ThroughputBenchResult",
     "BENCHMARKS",
     "EXTENDED_BENCHMARKS",
+    "BACKEND_ENGINES",
     "run_benchmark",
+    "run_backend_benchmark",
     "run_parallel_benchmark",
     "run_throughput_benchmark",
 ]
@@ -461,6 +464,146 @@ def run_throughput_benchmark(
         snapshot_check_seconds=snap_check_best,
         snapshot_total_seconds=snap_total_best,
         fast_timings=fast_timings,
+        identical=not mismatches,
+        mismatches=mismatches,
+    )
+
+
+#: Engine rows of the ``--backends`` head-to-head, in report order.  The
+#: first row is the golden engine the others are gated against.
+BACKEND_ENGINES = ("dtrg", "array", "depa", "vc")
+
+
+@dataclass
+class BackendBenchResult:
+    """One workload's recorded trace replayed through every PRECEDE
+    backend (``DeterminacyRaceDetector(engine=…)``) back-to-back in the
+    same process — the head-to-head table of docs/ALGORITHM.md §14.4.
+
+    ``per_engine`` maps each engine to its row: ``status`` is ``"ok"``,
+    ``"declined"`` (DePa refusing a future ``get`` with
+    ``UnsupportedConstructError`` — an honest fragment boundary, not a
+    failure) or ``"error"``; completed rows carry best-of-``repeats``
+    replay wall seconds, the events/s they imply, the race count and the
+    engine's own perf counters.
+
+    The equivalence gate is the *verdict stream* only: every completed
+    engine must reproduce the golden (first) engine's
+    ``RaceReport.summary()`` text and ordered race pair list
+    bit-for-bit.  Perf counters are per-engine invariants — a vector
+    clock is never consulted the way a shadow memory consults PRECEDE —
+    so they are reported, not gated (the dtrg/array counter bit-match
+    has its own gate in ``--throughput`` and the fuzzer).
+    """
+
+    name: str
+    scale: str
+    num_events: int
+    num_access_events: int
+    num_tasks: int
+    num_gets: int
+    races: int
+    per_engine: Dict[str, Dict[str, Any]]
+    identical: bool
+    mismatches: List[str] = field(default_factory=list)
+
+
+def run_backend_benchmark(
+    name: str,
+    scale: str = "small",
+    *,
+    engines: tuple = BACKEND_ENGINES,
+    repeats: int = 2,
+    verify: bool = True,
+) -> BackendBenchResult:
+    """Record one workload's trace, then replay it through each PRECEDE
+    backend (see :class:`BackendBenchResult`).
+
+    The workload runs **once** with only a trace recorder attached; every
+    engine then re-checks the same recorded stream through the full
+    detector (shadow memory included), so the rows differ only in the
+    PRECEDE data structure behind them.  Wall times are
+    best-of-``repeats`` per engine.  Mismatches are recorded, not
+    raised, so a violation still lands in the artifact."""
+    from repro.core.detector import DeterminacyRaceDetector
+    from repro.memory.tracer import TraceRecorder, replay_trace
+    from repro.runtime.errors import UnsupportedConstructError
+
+    bench = BENCHMARKS.get(name) or EXTENDED_BENCHMARKS[name]
+    params = bench.params(scale)
+    recorder = TraceRecorder()
+    run = run_instrumented(
+        lambda rt: bench.parallel(rt, params),
+        detect=False,
+        extra_observers=(recorder,),
+    )
+    if verify:
+        bench.verify(params, run.result)
+    trace = recorder.trace
+    metrics = run.metrics
+
+    per_engine: Dict[str, Dict[str, Any]] = {}
+    mismatches: List[str] = []
+    golden_summary: Optional[str] = None
+    golden_pairs: Optional[List] = None
+    golden_races = 0
+    for engine in engines:
+        best = float("inf")
+        detector = None
+        status = "ok"
+        detail = ""
+        for _ in range(repeats):
+            detector = DeterminacyRaceDetector(engine=engine)
+            start = time.perf_counter()
+            try:
+                replay_trace(trace, [detector])
+            except UnsupportedConstructError as exc:
+                status, detail, detector = "declined", str(exc), None
+                break
+            except Exception as exc:
+                status = "error"
+                detail = f"{type(exc).__name__}: {exc}"
+                detector = None
+                break
+            best = min(best, time.perf_counter() - start)
+        row: Dict[str, Any] = {"status": status}
+        if detail:
+            row["detail"] = detail
+        if detector is not None:
+            row["seconds"] = best
+            row["events_per_second"] = (
+                round(len(trace) / best, 1) if best else 0.0
+            )
+            row["races"] = len(detector.races)
+            row["perf"] = detector.perf_stats
+            summary = detector.report.summary()
+            pairs = [r.pair_key for r in detector.races]
+            if golden_summary is None:
+                golden_summary = summary
+                golden_pairs = pairs
+                golden_races = len(pairs)
+            else:
+                if summary != golden_summary:
+                    mismatches.append(
+                        f"{engine}: summary differs from {engines[0]}"
+                    )
+                if pairs != golden_pairs:
+                    mismatches.append(
+                        f"{engine}: race list differs from {engines[0]}"
+                    )
+        elif status == "error":
+            mismatches.append(f"{engine}: {detail}")
+        per_engine[engine] = row
+
+    return BackendBenchResult(
+        name=name,
+        scale=scale,
+        num_events=len(trace),
+        num_access_events=metrics.num_shared_accesses,
+        num_tasks=metrics.num_tasks,
+        num_gets=metrics.num_gets,
+        races=golden_races,
+        per_engine=per_engine,
         identical=not mismatches,
         mismatches=mismatches,
     )

@@ -10,6 +10,7 @@ with the instrumented runtime:
                                   [--metrics] [--witness]
                                   [--jobs N] [--parallel-backend auto|fork|
                                    spawn|inline]
+                                  [--fast]
                                   [--perfetto out.json]
                                   [--metrics-json out-metrics.json]
                                   [--explain] [--verify-witness]
@@ -47,6 +48,17 @@ summary and the exit code are bit-identical to the sequential
 the first race and has no live DTRG to certify witnesses from, so
 ``--jobs`` rejects ``--policy raise`` and the ``--explain`` family;
 ``--detector`` must be ``dtrg``.
+
+``--fast`` is the single-thread batched counterpart of ``--jobs``: the
+program runs once with only the trace recorder attached, the stream is
+lowered to an :class:`~repro.core.events.EncodedTrace` and checked by
+``check_trace_fast`` (``docs/ALGORITHM.md`` §13.3) — same race list,
+summary and exit code as the sequential ``--detector dtrg`` run, at
+1M+ access-checks/s.  The same restrictions as ``--jobs`` apply (dtrg
+only, no ``--policy raise``, no ``--explain`` family), and — like the
+``--jobs`` path since PR 5 — a user-program abort during the recording
+phase still writes every requested ``--dot``/``--trace``/``--metrics``
+artifact and exits 2.
 
 ``my_program.py`` must define ``def program(rt):`` (and may define
 ``def setup(rt):`` returning shared state passed as the second argument).
@@ -142,6 +154,11 @@ def main(argv: List[str] | None = None) -> int:
                         choices=("auto", "fork", "spawn", "inline"),
                         help="worker dispatch for --jobs (default auto: "
                              "fork where available, else spawn)")
+    parser.add_argument("--fast", action="store_true",
+                        help="check via the batched single-thread fast "
+                             "path: record the trace, lower it to an "
+                             "EncodedTrace, run check_trace_fast (dtrg "
+                             "only; identical races/summary/exit code)")
     parser.add_argument("--perfetto", metavar="FILE",
                         help="write a Chrome trace-event JSON "
                              "(Perfetto/chrome://tracing)")
@@ -176,17 +193,22 @@ def main(argv: List[str] | None = None) -> int:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
     parallel = args.jobs > 1
-    if parallel:
+    if parallel and args.fast:
+        print("error: --fast is the single-thread batched checker; "
+              "use either --fast or --jobs N", file=sys.stderr)
+        return 2
+    if parallel or args.fast:
+        flag = "--jobs" if parallel else "--fast"
         if args.detector != "dtrg":
-            print("error: --jobs requires --detector dtrg (the sharded "
-                  "checker implements the DTRG algorithm)", file=sys.stderr)
+            print(f"error: {flag} requires --detector dtrg (the batched "
+                  "checkers implement the DTRG algorithm)", file=sys.stderr)
             return 2
         if args.policy == "raise":
-            print("error: --jobs checks post-hoc and cannot abort at the "
+            print(f"error: {flag} checks post-hoc and cannot abort at the "
                   "first race; use --policy collect", file=sys.stderr)
             return 2
         if explain:
-            print("error: --jobs cannot certify witnesses (no live DTRG); "
+            print(f"error: {flag} cannot certify witnesses (no live DTRG); "
                   "drop --explain/--witness-json/--html/--verify-witness",
                   file=sys.stderr)
             return 2
@@ -216,10 +238,13 @@ def main(argv: List[str] | None = None) -> int:
 
         provenance = RaceProvenance()
     name_capture = None
-    if parallel:
+    if parallel or args.fast:
         # Two-phase mode: phase 1 records the stream (no detector in the
-        # loop), phase 2 replays it through the sharded checker.  Live task
-        # names are captured so parallel races print identically to live.
+        # loop), phase 2 replays it through the sharded or batched
+        # checker.  Live task names are captured so post-hoc races print
+        # identically to live.  The abort handlers below cover phase 1
+        # for both checkers: a user-program crash or unsupported
+        # construct still flushes every requested artifact and exits 2.
         detector = None
         observers: List = []
         name_capture = _NameCapture()
@@ -241,7 +266,7 @@ def main(argv: List[str] | None = None) -> int:
         metrics = MetricsCollector()
         observers.append(metrics)
     recorder = None
-    if args.trace or parallel:
+    if args.trace or parallel or args.fast:
         recorder = TraceRecorder()
         observers.append(recorder)
 
@@ -338,6 +363,20 @@ def main(argv: List[str] | None = None) -> int:
                   f"freeze={timings['freeze_seconds'] * 1e3:.1f}ms "
                   f"check={timings['check_seconds'] * 1e3:.1f}ms "
                   f"merge={timings['merge_seconds'] * 1e3:.1f}ms")
+    elif args.fast:
+        from repro.core.fastcheck import check_trace_fast
+
+        result = check_trace_fast(
+            recorder.trace, names=name_capture.names
+        )
+        detector = result  # duck-typed: .report / .races / .witnesses
+        if args.metrics:
+            timings = result.timings
+            print(f"fast check: "
+                  f"encode={timings['encode_seconds'] * 1e3:.1f}ms "
+                  f"structure={timings['structure_seconds'] * 1e3:.1f}ms "
+                  f"access={timings['access_seconds'] * 1e3:.1f}ms "
+                  f"({result.events_per_second:,.0f} access-checks/s)")
 
     print(detector.report.summary())
 

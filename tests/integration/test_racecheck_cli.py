@@ -364,3 +364,70 @@ def test_jobs_writes_trace_and_obs_artifacts(racy_program, tmp_path, capsys):
     assert trace.exists()
     dump = json.loads(metrics.read_text())
     assert dump["counters"]["parallel_checks"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# Batched single-thread checking (--fast)                                #
+# ---------------------------------------------------------------------- #
+def test_fast_output_identical_to_sequential(racy_program, capsys):
+    assert main([racy_program]) == 1
+    sequential = capsys.readouterr().out
+    assert main([racy_program, "--fast"]) == 1
+    fast = capsys.readouterr().out
+    assert fast == sequential
+    assert "producer" in fast  # live task names survive the replay
+
+
+def test_fast_clean_program_exit_zero(clean_program, capsys):
+    assert main([clean_program, "--fast"]) == 0
+    assert "no determinacy races" in capsys.readouterr().out
+
+
+def test_fast_metrics_prints_fast_stats(racy_program, capsys):
+    assert main([racy_program, "--fast", "--metrics"]) == 1
+    out = capsys.readouterr().out
+    assert "fast check:" in out
+    assert "access-checks/s" in out
+
+
+def test_fast_rejects_jobs(racy_program, capsys):
+    assert main([racy_program, "--fast", "--jobs", "2"]) == 2
+    assert "either --fast or --jobs" in capsys.readouterr().err
+
+
+def test_fast_rejects_raise_policy_and_explain(racy_program, capsys):
+    assert main([racy_program, "--fast", "--policy", "raise"]) == 2
+    assert "cannot abort" in capsys.readouterr().err
+    assert main([racy_program, "--fast", "--explain"]) == 2
+
+
+def test_fast_rejects_non_dtrg_detector(racy_program, capsys):
+    assert main([racy_program, "--fast", "--detector", "vector-clock"]) == 2
+    assert "--detector dtrg" in capsys.readouterr().err
+
+
+def test_fast_abort_still_writes_artifacts_and_exits_two(tmp_path, capsys):
+    """A user-program abort during --fast recording must write the trace
+    and obs artifacts gathered so far and exit 2, exactly like the replay
+    path (the fast path used to drop them on the floor)."""
+    import json
+
+    path = tmp_path / "boom_fast.py"
+    path.write_text(
+        "from repro import SharedArray\n"
+        "def setup(rt):\n    return SharedArray(rt, 'd', 2)\n"
+        "def program(rt, d):\n"
+        "    d.write(0, 1)\n"
+        "    raise RuntimeError('late crash')\n"
+    )
+    trace = tmp_path / "t.pkl"
+    metrics = tmp_path / "m.json"
+    assert main([str(path), "--fast", "--trace", str(trace),
+                 "--metrics-json", str(metrics)]) == 2
+    err = capsys.readouterr().err
+    assert "RuntimeError" in err and "late crash" in err
+    from repro.core.events import Trace
+
+    assert len(Trace.load(str(trace))) == 1  # the write before the crash
+    dump = json.loads(metrics.read_text())
+    assert "counters" in dump

@@ -1,6 +1,6 @@
 """Sharded parallel checking ≡ sequential replay, under fuzzing.
 
-Two properties over ≥200 generated programs (ALGORITHM.md §12):
+Three properties over ≥200 generated programs (ALGORITHM.md §12):
 
 1. **Snapshot fidelity** — ``DTRGSnapshot.freeze`` of the finished DTRG
    answers ``precede`` exactly like the live graph on *every* task pair.
@@ -8,6 +8,9 @@ Two properties over ≥200 generated programs (ALGORITHM.md §12):
    reproduces the sequential replay detector byte-for-byte: same race
    list in the same order, same ``summary()`` text, same racy locations,
    same job-count-invariant ``DetectorPerf`` counters.
+3. **Encoded-input equivalence** — feeding the same trace as an
+   :class:`~repro.core.events.EncodedTrace` reproduces the event-list
+   build byte-for-byte at every job count.
 
 Shard assignment is by location hash and workers replay the structure
 log independently, so any soundness slip (e.g. answering from the
@@ -80,6 +83,43 @@ def test_parallel_equivalence_fuzz(band):
                 )
     # The generator must actually exercise the racy path in every band,
     # or the equivalence above is vacuous.
+    assert racy_seeds > 0
+
+
+@pytest.mark.parametrize("band", range(0, NUM_SEEDS, 40))
+def test_encoded_trace_input_equivalence_fuzz(band):
+    """``check_trace_parallel`` consumes :class:`EncodedTrace` blocks
+    directly (no per-event object decode in the build phase) and must
+    stay byte-identical to the event-list path at every job count: same
+    ``summary()`` text, same ordered race list, same racy locations, the
+    *whole* ``perf_stats`` dict, and the same event totals.  The encoded
+    build stores task *keys* in shard buckets — a dense-index slip there
+    shows up as a post-remap divergence here."""
+    from repro.core.events import encode_trace
+
+    racy_seeds = 0
+    for seed in range(band, band + 40):
+        rec = TraceRecorder()
+        run_program(random_program(random.Random(seed)), [rec])
+        trace = rec.trace
+        encoded = encode_trace(trace)
+        for jobs in JOBS:
+            want = check_trace_parallel(trace, jobs=jobs, backend="inline")
+            got = check_trace_parallel(encoded, jobs=jobs, backend="inline")
+            assert got.summary() == want.summary(), (
+                f"seed {seed} jobs={jobs}: encoded summary diverges"
+            )
+            assert ([r.pair_key for r in got.races]
+                    == [r.pair_key for r in want.races]), (
+                f"seed {seed} jobs={jobs}: encoded race order diverges"
+            )
+            assert got.racy_locations == want.racy_locations
+            assert got.perf_stats == want.perf_stats, (
+                f"seed {seed} jobs={jobs}: encoded perf counters diverge"
+            )
+            assert got.num_events == want.num_events
+            assert got.num_access_events == want.num_access_events
+            racy_seeds += bool(got.races)
     assert racy_seeds > 0
 
 
