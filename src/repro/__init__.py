@@ -27,6 +27,7 @@ Quickstart::
 from repro.core.detector import DeterminacyRaceDetector
 from repro.core.exact import ExactDetector
 from repro.core.events import ExecutionObserver, Trace
+from repro.core.parallel_detector import ParallelRaceDetector
 from repro.core.races import AccessKind, Race, RaceReport, ReportPolicy
 from repro.core.reachability import DynamicTaskReachabilityGraph
 from repro.obs import MetricsRegistry, Observability, RingTracer
@@ -44,6 +45,9 @@ from repro.runtime.errors import (
     RuntimeStateError,
     UnsupportedConstructError,
 )
+from repro.runtime.asyncio_runtime import AsyncioRuntime
+from repro.runtime.base import RuntimeBase
+from repro.runtime.executor import ThreadRuntime
 from repro.runtime.future import FutureHandle
 from repro.runtime.runtime import Runtime
 from repro.runtime.task import Task, TaskKind
@@ -54,11 +58,15 @@ __all__ = [
     "__version__",
     # runtime
     "Runtime",
+    "RuntimeBase",
+    "ThreadRuntime",
+    "AsyncioRuntime",
     "Task",
     "TaskKind",
     "FutureHandle",
     # detector
     "DeterminacyRaceDetector",
+    "ParallelRaceDetector",
     "ExactDetector",
     "DynamicTaskReachabilityGraph",
     "ExecutionObserver",

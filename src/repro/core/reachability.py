@@ -286,9 +286,26 @@ class DynamicTaskReachabilityGraph:
         delegate to the plain implementations and report to ``obs``:
         PRECEDE queries with wall time, VISIT-expansion count and cache
         outcome; mutations as instant events carrying the new epoch.
+
+        Instance-attribute rebinding is construction-time wiring only: a
+        concurrent runtime (``ThreadRuntime``) could observe the five
+        methods half-swapped, and even serially the pre-attachment events
+        would be missing from the trace.  Attaching once the graph holds
+        any node raises
+        :class:`~repro.runtime.errors.RuntimeStateError`.
         """
         if obs is None or not getattr(obs, "enabled", False):
             return
+        if self._nodes:
+            from repro.runtime.errors import RuntimeStateError
+
+            raise RuntimeStateError(
+                "attach_observability after tasks were registered: attach "
+                "hooks at construction time, before the DTRG records any "
+                "node (rebinding precede/mutators mid-flight is unsafe "
+                "under a concurrent runtime and would leave earlier "
+                "events untraced)"
+            )
         self._obs = obs
         self.precede = self._traced_precede
         self.add_task = self._traced_add_task

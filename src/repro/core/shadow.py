@@ -159,9 +159,18 @@ class ShadowMemory:
         are shadowed by traced twins reporting each check's kind, stored
         reader population and wall time to ``obs`` (the population feeds
         the ``cell_readers`` histogram behind Table 2's ``#AvgReaders``).
+
+        Attachment is construction-time wiring, not something to flip
+        mid-run: the hooks install by rebinding :meth:`read`/:meth:`write`
+        as instance attributes, which a concurrently executing runtime
+        (``ThreadRuntime``) could observe half-applied — and even serially
+        the pre-attachment accesses would be missing from the trace.  Once
+        any access has been checked (or any cell exists), attaching raises
+        :class:`~repro.runtime.errors.RuntimeStateError`.
         """
         if obs is None or not getattr(obs, "enabled", False):
             return
+        self._guard_attach("attach_observability")
         self._obs = obs
         self.read = self._traced_read
         self.write = self._traced_write
@@ -178,9 +187,15 @@ class ShadowMemory:
         it attributes ``Race.prev_site``.  The wrapper runs *after* the
         check, so races reported during the check see the sites of the
         *previous* accesses, exactly the retained step pair.
+
+        Like :meth:`attach_observability`, attaching after any access has
+        been checked raises :class:`~repro.runtime.errors.RuntimeStateError`
+        (instance-attribute rebinding is not safe mid-flight, and earlier
+        retentions would lack sites).
         """
         if prov is None or not getattr(prov, "enabled", False):
             return
+        self._guard_attach("attach_provenance")
         inner_read, inner_write = self.read, self.write
         cells = self._cells
 
@@ -197,6 +212,18 @@ class ShadowMemory:
 
         self.read = prov_read
         self.write = prov_write
+
+    def _guard_attach(self, what: str) -> None:
+        if self._cells or self.num_accesses:
+            from repro.runtime.errors import RuntimeStateError
+
+            raise RuntimeStateError(
+                f"{what} after accesses were checked: attach hooks at "
+                "construction time, before the shadow memory observes any "
+                "access (rebinding the access checks mid-flight is unsafe "
+                "under a concurrent runtime and would leave earlier "
+                "accesses uninstrumented)"
+            )
 
     def stored_site(self, kind: str, prev: int, loc: Hashable) -> int:
         """Site id retained for the *previous* access of a race.

@@ -101,6 +101,37 @@ Schema (``repro.bench.backends/1``)::
                   "events_per_second": ..., "races": ..., "perf": {...}},
          "depa": {"status": "declined", "detail": ...}, ...}}, ...]}
 
+``--executors`` runs each workload *live* on the serial elision and on
+the work-stealing ThreadRuntime at each ``--workers`` pool size, a fresh
+online :class:`~repro.core.parallel_detector.ParallelRaceDetector`
+checking during execution, and writes ``BENCH_PR8.json`` by default::
+
+    repro-bench --executors --scale table2 --workers 1,2,4
+
+Per workload the document records each runtime's wall seconds, tasks/s
+and shadow-checked accesses/s, the speedup over the serial elision, the
+thread rows' peak pool size (workers + compensation threads), and the
+parity gate: every runtime must report exactly the serial elision's
+racy-location set and task count (``identical``).  The AsyncioRuntime
+has no row — workload kernels use the synchronous blocking ``get()``
+style the cooperative runtime rejects by design; its parity coverage
+lives in ``repro-fuzz --runtimes`` and the property sweep.  As with
+``--parallel``, a 1-core box tags the artifact
+``"speedup_valid": false`` — thread rows there measure scheduling
+overhead, not parallelism.
+
+Schema (``repro.bench.executors/1``)::
+
+    {"schema": "repro.bench.executors/1", "scale": ..., "repeats": ...,
+     "cpu_count": ..., "speedup_valid": ..., "tag": ...,
+     "workloads": [{"name": ..., "scale": ..., "races": ...,
+       "num_tasks": ..., "num_accesses": ..., "identical": ...,
+       "mismatches": [...], "runtimes": {
+         "serial": {"seconds": ..., "tasks_per_second": ...,
+                    "accesses_per_second": ..., "speedup_vs_serial": 1.0,
+                    "races": ...},
+         "threads-2": {"workers": 2, "pool_size": ..., ...}, ...}}, ...]}
+
 ``--baseline FILE`` (throughput mode) gates against a checked-in
 baseline (``benchmarks/throughput_baseline.json``): the run fails if any
 workload's fast-path ``access_events_per_second`` drops more than 10%
@@ -134,6 +165,7 @@ from repro.harness.runner import (
     EXTENDED_BENCHMARKS,
     run_backend_benchmark,
     run_benchmark,
+    run_executor_benchmark,
     run_parallel_benchmark,
     run_throughput_benchmark,
 )
@@ -142,6 +174,7 @@ __all__ = [
     "bench_data",
     "backend_bench_data",
     "backends_markdown",
+    "executor_bench_data",
     "parallel_bench_data",
     "throughput_bench_data",
     "check_backends_baseline",
@@ -151,6 +184,7 @@ __all__ = [
 
 BENCH_SCHEMA = "repro.bench/1"
 BACKEND_BENCH_SCHEMA = "repro.bench.backends/1"
+EXECUTOR_BENCH_SCHEMA = "repro.bench.executors/1"
 PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
 THROUGHPUT_BENCH_SCHEMA = "repro.bench.throughput/1"
 
@@ -483,6 +517,81 @@ def backend_bench_data(
     return data
 
 
+def executor_bench_data(
+    names: List[str],
+    *,
+    scale: str = "small",
+    workers: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+    verify: bool = True,
+    tag: Optional[str] = None,
+    out=None,
+) -> dict:
+    """Run ``names`` live on every runtime substrate and assemble the
+    ``repro.bench.executors/1`` document (see module docstring).  A
+    racy-set or task-count mismatch is recorded per workload
+    (``identical``/``mismatches``) and fails the run via the caller's
+    gate, the same contract as the other multi-engine modes."""
+    workloads: List[dict] = []
+    for name in names:
+        try:
+            result = run_executor_benchmark(
+                name, scale, workers=tuple(workers), repeats=repeats,
+                verify=verify,
+            )
+        except Exception as exc:
+            print(f"bench {name}: FAILED — {type(exc).__name__}: {exc}",
+                  file=out or sys.stderr)
+            workloads.append({
+                "name": name,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            continue
+        workloads.append({
+            "name": name,
+            "scale": result.scale,
+            "races": result.races,
+            "num_tasks": result.num_tasks,
+            "num_accesses": result.num_accesses,
+            "identical": result.identical,
+            "mismatches": result.mismatches,
+            "runtimes": result.per_runtime,
+        })
+        serial_ms = result.per_runtime["serial"]["seconds"] * 1e3
+        cells = [
+            f"threads-{w} x"
+            f"{result.per_runtime[f'threads-{w}']['speedup_vs_serial']:.2f}"
+            for w in workers
+        ]
+        print(
+            f"bench {name}: {result.num_tasks} tasks, "
+            f"{result.num_accesses} accesses, serial {serial_ms:.1f} ms — "
+            + ", ".join(cells)
+            + f", identical={result.identical}",
+            file=out,
+        )
+    cpu_count = os.cpu_count() or 1
+    data = {
+        "schema": EXECUTOR_BENCH_SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "cpu_count": cpu_count,
+        "speedup_valid": cpu_count > 1,
+        "workloads": workloads,
+    }
+    if cpu_count <= 1:
+        print(
+            "=" * 72 + "\n"
+            "WARNING: cpu_count == 1 — thread-row wall times on this box\n"
+            "measure scheduling OVERHEAD, not parallelism.  The artifact\n"
+            'is tagged "speedup_valid": false.\n' + "=" * 72,
+            file=out or sys.stderr,
+        )
+    if tag is not None:
+        data["tag"] = tag
+    return data
+
+
 def backends_markdown(data: dict) -> str:
     """Render a ``repro.bench.backends/1`` document as a markdown
     comparison table, one row per workload × scale.  Cells show replay
@@ -640,6 +749,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--backends", action="store_true",
                         help="race every PRECEDE backend (dtrg / array / "
                              "depa / vc) over each recorded trace")
+    parser.add_argument("--executors", action="store_true",
+                        help="run each workload live on the serial elision "
+                             "and the work-stealing ThreadRuntime at each "
+                             "--workers pool size, detecting online")
+    parser.add_argument("--workers", type=_parse_jobs_list,
+                        default=[1, 2, 4], metavar="N,N,...",
+                        help="pool sizes for --executors (default 1,2,4)")
     parser.add_argument("--scales", type=_parse_scales_list, default=None,
                         metavar="S,S,...",
                         help="with --backends: comma list of scales to "
@@ -681,9 +797,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         names = args.only
 
-    if sum((args.parallel, args.throughput, args.backends)) > 1:
-        print("error: --parallel, --throughput and --backends are "
-              "mutually exclusive", file=sys.stderr)
+    if sum((args.parallel, args.throughput, args.backends,
+            args.executors)) > 1:
+        print("error: --parallel, --throughput, --backends and "
+              "--executors are mutually exclusive", file=sys.stderr)
         return 2
     if args.baseline and not (args.throughput or args.backends):
         print("error: --baseline requires --throughput or --backends",
@@ -705,6 +822,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.markdown, "w") as fh:
                 fh.write(backends_markdown(data))
             print(f"markdown table written to {args.markdown}")
+    elif args.executors:
+        output = args.output or "BENCH_PR8.json"
+        data = executor_bench_data(
+            names, scale=args.scale, workers=args.workers,
+            repeats=args.repeats, verify=not args.no_verify, tag=args.tag,
+        )
     elif args.parallel:
         output = args.output or "BENCH_PR5.json"
         data = parallel_bench_data(

@@ -41,8 +41,10 @@ __all__ = [
     "BENCHMARKS",
     "EXTENDED_BENCHMARKS",
     "BACKEND_ENGINES",
+    "ExecutorBenchResult",
     "run_benchmark",
     "run_backend_benchmark",
+    "run_executor_benchmark",
     "run_parallel_benchmark",
     "run_throughput_benchmark",
 ]
@@ -605,6 +607,140 @@ def run_backend_benchmark(
         races=golden_races,
         per_engine=per_engine,
         identical=not mismatches,
+        mismatches=mismatches,
+    )
+
+
+@dataclass
+class ExecutorBenchResult:
+    """One workload *executed for real* on every runtime substrate with
+    a fresh online :class:`~repro.core.parallel_detector.ParallelRaceDetector`
+    attached (PR 8).
+
+    ``per_runtime`` maps ``"serial"`` / ``"threads-N"`` to its row:
+    best-of-``repeats`` wall seconds, tasks/s and shadow-checked
+    accesses/s implied by that wall time, the speedup over the serial
+    elision, and (threads rows) the peak pool size — workers plus any
+    compensation threads spawned for blocking ``get``\\ s.
+
+    The equivalence gate is the *racy-location set*: every runtime must
+    report exactly the serial elision's set (race pair order is
+    schedule-dependent; DESIGN.md "Race order under parallel runtimes").
+    The AsyncioRuntime is exercised by the fuzz/property parity sweeps,
+    not here: workload kernels use the synchronous blocking ``get()``
+    style, which the cooperative runtime by design rejects.
+
+    On a single-core box thread-row "speedups" measure scheduling
+    overhead, never parallelism — the artifact records ``cpu_count`` so
+    a reader can judge (same caveat as the sharded-checker benchmark).
+    """
+
+    name: str
+    scale: str
+    races: int
+    num_tasks: int
+    num_accesses: int
+    identical: bool
+    per_runtime: Dict[str, Dict[str, Any]]
+    mismatches: List[str] = field(default_factory=list)
+
+
+def run_executor_benchmark(
+    name: str,
+    scale: str = "small",
+    *,
+    workers: tuple = (1, 2, 4),
+    repeats: int = 1,
+    verify: bool = True,
+) -> ExecutorBenchResult:
+    """Run one workload on the serial elision and on a work-stealing
+    ThreadRuntime at each pool size in ``workers``, detecting online
+    during execution (see :class:`ExecutorBenchResult`).
+
+    Unlike the trace-replay benchmarks, nothing is recorded and nothing
+    is replayed: every leg is a live run, so thread rows measure the
+    whole contract at once — scheduler, two-tier detector locking, and
+    the verified workload result.  Mismatches are recorded, not raised,
+    so a violation still lands in the artifact."""
+    from repro.core.parallel_detector import ParallelRaceDetector
+    from repro.runtime.executor import ThreadRuntime
+    from repro.runtime.runtime import Runtime
+
+    bench = BENCHMARKS.get(name) or EXTENDED_BENCHMARKS[name]
+    params = bench.params(scale)
+
+    def one_leg(make_runtime):
+        best = float("inf")
+        det = stats = pool = None
+        for _ in range(repeats):
+            det = ParallelRaceDetector()
+            rt = make_runtime(det)
+            start = time.perf_counter()
+            result = rt.run(lambda r: bench.parallel(r, params))
+            best = min(best, time.perf_counter() - start)
+            stats = det.perf_stats
+            pool = getattr(rt, "pool_size", None)
+            if verify:
+                bench.verify(params, result)
+        return det, stats, best, pool
+
+    per_runtime: Dict[str, Dict[str, Any]] = {}
+    mismatches: List[str] = []
+
+    det, stats, serial_best, _ = one_leg(
+        lambda d: Runtime(observers=[d])
+    )
+    golden = frozenset(det.racy_locations)
+    races = len(det.races)
+    num_tasks = stats["num_tasks"]
+    num_accesses = stats["num_accesses"]
+    per_runtime["serial"] = {
+        "seconds": serial_best,
+        "tasks_per_second": round(num_tasks / serial_best, 1)
+        if serial_best else 0.0,
+        "accesses_per_second": round(num_accesses / serial_best, 1)
+        if serial_best else 0.0,
+        "speedup_vs_serial": 1.0,
+        "races": races,
+    }
+
+    for w in workers:
+        det, stats, best, pool = one_leg(
+            lambda d, w=w: ThreadRuntime(observers=[d], workers=w)
+        )
+        row: Dict[str, Any] = {
+            "workers": w,
+            "pool_size": pool,
+            "seconds": best,
+            "tasks_per_second": round(stats["num_tasks"] / best, 1)
+            if best else 0.0,
+            "accesses_per_second": round(stats["num_accesses"] / best, 1)
+            if best else 0.0,
+            "speedup_vs_serial": round(serial_best / best, 4)
+            if best else 0.0,
+            "races": len(det.races),
+        }
+        got = frozenset(det.racy_locations)
+        if got != golden:
+            mismatches.append(
+                f"threads-{w}: racy locations {sorted(got)} != "
+                f"serial {sorted(golden)}"
+            )
+        if stats["num_tasks"] != num_tasks:
+            mismatches.append(
+                f"threads-{w}: task count {stats['num_tasks']} != "
+                f"serial {num_tasks}"
+            )
+        per_runtime[f"threads-{w}"] = row
+
+    return ExecutorBenchResult(
+        name=name,
+        scale=scale,
+        races=races,
+        num_tasks=num_tasks,
+        num_accesses=num_accesses,
+        identical=not mismatches,
+        per_runtime=per_runtime,
         mismatches=mismatches,
     )
 

@@ -95,6 +95,12 @@ class Observability:
         self._c_gets = reg.counter("get_joins")
         # Open spans: key -> (start ts_us, name, cat, extra args).
         self._open: Dict[Any, tuple] = {}
+        # The exec_* hook points below are the only ones invoked from
+        # concurrently running threads (ThreadRuntime workers) without an
+        # external serializing lock; they guard themselves with this.
+        import threading
+
+        self._exec_lock = threading.Lock()
         if tracer is not None:
             tracer.set_track_name(DTRG_TRACK, "DTRG mutations")
 
@@ -325,6 +331,73 @@ class Observability:
                 "steal" if hit else "steal.miss", "ws", track,
                 ts_us=float(cycle), args={"victim": victim},
             )
+
+    # ------------------------------------------------------------------ #
+    # Concurrent-executor hook points (ThreadRuntime: real threads,      #
+    # wall-clock time — unlike the ws_* simulator hooks' virtual cycles) #
+    # ------------------------------------------------------------------ #
+    def exec_worker_begin(self, worker: int) -> None:
+        """A ThreadRuntime worker thread entered its scheduling loop."""
+        with self._exec_lock:
+            self.registry.counter("exec_workers").inc()
+            tracer = self.tracer
+            if tracer is not None:
+                track = f"exec-worker-{worker}"
+                tracer.set_track_name(track, f"exec worker {worker}")
+                self._open[("exec-worker", worker)] = (tracer.now_us(),)
+
+    def exec_worker_end(self, worker: int) -> None:
+        """The worker's scheduling loop exited (shutdown)."""
+        with self._exec_lock:
+            tracer = self.tracer
+            if tracer is None:
+                return
+            opened = self._open.pop(("exec-worker", worker), None)
+            if opened is None:
+                return
+            (start,) = opened
+            tracer.complete(
+                f"worker{worker}", "exec", f"exec-worker-{worker}",
+                start, tracer.now_us() - start, args={"worker": worker},
+            )
+
+    def exec_task_run(
+        self, worker: int, tid: int, start_us: float, dur_us: float
+    ) -> None:
+        """One task body executed on a worker thread (back-dated span)."""
+        with self._exec_lock:
+            self.registry.counter("exec_tasks_run").inc()
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.complete(
+                    f"run t{tid}", "exec", f"exec-worker-{worker}",
+                    start_us, dur_us, args={"tid": tid},
+                )
+
+    def exec_steal(self, worker: int, victim: int, *, hit: bool) -> None:
+        """One steal probe by a real worker thread (instant event)."""
+        with self._exec_lock:
+            name = "exec_steals" if hit else "exec_failed_steals"
+            self.registry.counter(name).inc()
+            tracer = self.tracer
+            if tracer is not None:
+                track = f"exec-worker-{worker}"
+                tracer.set_track_name(track, f"exec worker {worker}")
+                tracer.instant(
+                    "steal" if hit else "steal.miss", "exec", track,
+                    args={"victim": victim},
+                )
+
+    def exec_block(self, worker: int, kind: str) -> None:
+        """A worker is about to block (``get`` or finish wait); a
+        compensation thread may be spawned to preserve parallelism."""
+        with self._exec_lock:
+            self.registry.counter("exec_blocks").inc()
+            tracer = self.tracer
+            if tracer is not None:
+                track = f"exec-worker-{worker}"
+                tracer.set_track_name(track, f"exec worker {worker}")
+                tracer.instant("block", "exec", track, args={"kind": kind})
 
     # ------------------------------------------------------------------ #
     def write_trace(self, path) -> None:

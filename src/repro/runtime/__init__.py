@@ -1,7 +1,12 @@
-"""Serial depth-first async/finish/future runtime (Section 2 model), plus
-the parallel-execution analyses built on recorded computation graphs."""
+"""Execution substrates for async/finish/future programs: the serial
+depth-first elision (Section 2 model), the work-stealing ThreadRuntime,
+the cooperative AsyncioRuntime — all behind the RuntimeBase protocol —
+plus the parallel-execution analyses built on recorded computation
+graphs."""
 
 from repro.runtime.accumulator import Accumulator
+from repro.runtime.asyncio_runtime import AsyncioRuntime
+from repro.runtime.base import RuntimeBase
 from repro.runtime.depends import DependsTaskGroup
 from repro.runtime.errors import (
     NullFutureError,
@@ -10,6 +15,7 @@ from repro.runtime.errors import (
     RuntimeStateError,
     UnsupportedConstructError,
 )
+from repro.runtime.executor import ThreadRuntime
 from repro.runtime.finish import FinishScope
 from repro.runtime.future import FutureHandle
 from repro.runtime.runtime import Runtime
@@ -23,6 +29,9 @@ from repro.runtime.workstealing import (
 
 __all__ = [
     "Runtime",
+    "RuntimeBase",
+    "ThreadRuntime",
+    "AsyncioRuntime",
     "Task",
     "TaskKind",
     "FinishScope",

@@ -1,0 +1,386 @@
+"""AsyncioRuntime — async/finish/future on the ``asyncio`` event loop.
+
+The third execution substrate behind :class:`~repro.runtime.base.RuntimeBase`
+(ROADMAP item 1): cooperative single-threaded concurrency.
+
+* ``async``/``future`` spawn → :meth:`asyncio.loop.create_task` — each
+  model task is one ``asyncio.Task`` running the body (a coroutine
+  function, awaited; a plain callable is invoked and its result awaited
+  if awaitable);
+* future ``get()`` → ``await`` — the consumer suspends until the
+  producer's done event, so the program text drives real suspension
+  points;
+* ``finish`` → a structured-concurrency scope (``async with
+  rt.finish():``) whose exit awaits every task registered in the scope,
+  including tasks those tasks transitively spawn with the same IEF.
+
+There is no preemption and no shared-memory tearing — but the *event
+order* is whatever the loop's ready queue produces, which is nothing
+like the serial depth-first elision (a parent runs past a spawn before
+the child starts; siblings interleave at every ``await``).  Detectors
+that assume depth-first order (the DTRG family) are therefore just as
+wrong here as under real threads; pair this runtime with
+:class:`~repro.core.parallel_detector.ParallelRaceDetector`, whose
+verdicts are schedule-robust.  No locks are needed anywhere: observer
+dispatch is serialized by the single loop thread, which trivially
+satisfies the §15 locking contract.
+
+The per-task context (current task + finish stack) lives in a
+:class:`contextvars.ContextVar`: ``asyncio`` gives every task a copy of
+the spawning context, and the task wrapper's first action is installing
+a *fresh* context object — sharing the parent's mutable finish stack
+across concurrently-live tasks would corrupt scope tracking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import contextvars
+import inspect
+from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar
+
+from repro.core.events import ExecutionObserver
+from repro.runtime.errors import NullFutureError, RuntimeStateError
+from repro.runtime.finish import FinishScope
+from repro.runtime.future import FutureHandle
+from repro.runtime.task import Task, TaskKind
+
+__all__ = ["AsyncioRuntime"]
+
+T = TypeVar("T")
+
+
+class _TaskCtx:
+    __slots__ = ("task", "finish_stack")
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+        self.finish_stack: List[FinishScope] = (
+            [] if task.ief is None else [task.ief]
+        )
+
+
+class AsyncioRuntime:
+    """Cooperative ``asyncio`` executor for async/finish/future programs.
+
+    ``run(program)`` expects an ``async def program(rt)`` and drives it
+    with :func:`asyncio.run`.  Task bodies may be coroutine functions
+    (awaited) or plain callables.  Instances are single-use.
+
+    Parameters mirror the other runtimes; ``provenance`` is rejected
+    when enabled (call-site attribution assumes the serial elision).
+    """
+
+    def __init__(
+        self,
+        observers: Iterable[ExecutionObserver] = (),
+        *,
+        obs=None,
+        provenance=None,
+    ) -> None:
+        if provenance is not None and getattr(provenance, "enabled", False):
+            raise ValueError(
+                "AsyncioRuntime does not support provenance: call-site "
+                "attribution assumes the serial depth-first elision; run "
+                "the serial Runtime for --explain"
+            )
+        self._observers: List[ExecutionObserver] = list(observers)
+        self._obs = (
+            obs if obs is not None and getattr(obs, "enabled", False) else None
+        )
+        self._running = False
+        self._next_tid = 0
+        self._next_fid = 0
+        self.main_task: Optional[Task] = None
+        self._ctx_var: contextvars.ContextVar[Optional[_TaskCtx]] = (
+            contextvars.ContextVar("repro_asyncio_ctx", default=None)
+        )
+        self._done: Dict[int, asyncio.Event] = {}
+        #: fid -> asyncio.Tasks registered in the scope, not yet awaited.
+        self._scope_tasks: Dict[int, List[asyncio.Task]] = {}
+        self._read_hooks: List[Callable] = []
+        self._write_hooks: List[Callable] = []
+        #: tids whose exception was already delivered at a get() — the
+        #: enclosing finish does not re-raise those.
+        self._delivered: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Observer management                                                #
+    # ------------------------------------------------------------------ #
+    def add_observer(self, observer: ExecutionObserver) -> None:
+        """Register an observer; only allowed before :meth:`run`."""
+        if self._running:
+            raise RuntimeStateError("cannot add observers while running")
+        self._observers.append(observer)
+
+    @property
+    def observers(self) -> List[ExecutionObserver]:
+        return list(self._observers)
+
+    # ------------------------------------------------------------------ #
+    # Program execution                                                  #
+    # ------------------------------------------------------------------ #
+    def run(self, program: Callable[["AsyncioRuntime"], Any]) -> Any:
+        """Execute ``async def program(rt)`` to completion."""
+        if not (
+            inspect.iscoroutinefunction(program)
+            or inspect.iscoroutinefunction(
+                getattr(program, "__call__", None)
+            )
+        ):
+            raise TypeError(
+                "AsyncioRuntime.run expects an async program: define it "
+                "as `async def program(rt)` (the serial and threaded "
+                "runtimes take the synchronous form)"
+            )
+        if self._running:
+            raise RuntimeStateError("runtime is already running a program")
+        if self._next_tid != 0:
+            raise RuntimeStateError(
+                "runtime instances are single-use; create a new "
+                "AsyncioRuntime"
+            )
+        return asyncio.run(self._main(program))
+
+    async def _main(self, program) -> Any:
+        self._running = True
+        self._read_hooks = [ob.on_read for ob in self._observers]
+        self._write_hooks = [ob.on_write for ob in self._observers]
+        main = Task(self._next_tid, TaskKind.MAIN, parent=None, ief=None)
+        self._next_tid += 1
+        self.main_task = main
+        ctx = _TaskCtx(main)
+        self._ctx_var.set(ctx)
+        obs = self._obs
+        for ob in self._observers:
+            ob.on_init(main)
+        if obs is not None:
+            obs.task_begin(main.tid, main.name, False)
+        root = FinishScope(self._next_fid, owner=main, enclosing=None)
+        self._next_fid += 1
+        self._scope_tasks[root.fid] = []
+        for ob in self._observers:
+            ob.on_finish_start(root)
+        if obs is not None:
+            obs.finish_begin(root.fid, main.tid)
+        ctx.finish_stack.append(root)
+        try:
+            result = await program(self)
+        except BaseException:
+            await self._drain_scope(root)
+            root.closed = True
+            self._running = False
+            raise
+        ctx.finish_stack.pop()
+        await self._drain_scope(root)
+        root.closed = True
+        self._running = False
+        self._raise_child_failure(root)
+        for ob in self._observers:
+            ob.on_finish_end(root)
+        main.completed = True
+        for ob in self._observers:
+            ob.on_task_end(main)
+            ob.on_shutdown(main)
+        if obs is not None:
+            obs.finish_end(root.fid)
+            obs.task_end(main.tid)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Parallel constructs                                                #
+    # ------------------------------------------------------------------ #
+    def async_(
+        self,
+        body: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Task:
+        """``async { body(...) }`` — spawn; returns the model Task."""
+        return self._spawn(TaskKind.ASYNC, body, args, kwargs, name)
+
+    def future(
+        self,
+        body: Callable[..., T],
+        *args: Any,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> FutureHandle[T]:
+        """``future<T> f = async<T> body(...)``; ``await handle.get()``."""
+        task = self._spawn(TaskKind.FUTURE, body, args, kwargs, name)
+        return FutureHandle(self, task)
+
+    @contextlib.asynccontextmanager
+    async def finish(self):
+        """``finish { ... }`` — ``async with rt.finish():``; exit awaits
+        every task whose IEF is this scope."""
+        ctx = self._require_ctx()
+        current = ctx.task
+        obs = self._obs
+        scope = FinishScope(
+            self._next_fid, owner=current, enclosing=ctx.finish_stack[-1]
+        )
+        self._next_fid += 1
+        self._scope_tasks[scope.fid] = []
+        for ob in self._observers:
+            ob.on_finish_start(scope)
+        if obs is not None:
+            obs.finish_begin(scope.fid, current.tid)
+        ctx.finish_stack.append(scope)
+        try:
+            yield scope
+        except BaseException:
+            while ctx.finish_stack and ctx.finish_stack[-1] is not scope:
+                ctx.finish_stack.pop().closed = True
+            if ctx.finish_stack and ctx.finish_stack[-1] is scope:
+                ctx.finish_stack.pop()
+            await self._drain_scope(scope)
+            scope.closed = True
+            raise
+        top = ctx.finish_stack.pop()
+        if top is not scope:  # pragma: no cover - defensive
+            raise RuntimeStateError("finish scopes exited out of order")
+        await self._drain_scope(scope)
+        scope.closed = True
+        self._raise_child_failure(scope)
+        for ob in self._observers:
+            ob.on_finish_end(scope)
+        if obs is not None:
+            obs.finish_end(scope.fid)
+
+    def get(self, handle: Optional[FutureHandle[T]]):
+        """Null-checked ``get``; returns an awaitable of the value."""
+        if handle is None:
+            raise NullFutureError(
+                "get() on a null future reference: the handle's publishing "
+                "write raced with this read (Appendix A)"
+            )
+        return handle.get()
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory instrumentation entry points                         #
+    # ------------------------------------------------------------------ #
+    def record_read(self, loc) -> None:
+        """Report a read of ``loc`` by the current model task."""
+        ctx = self._ctx_var.get()
+        if ctx is None:
+            raise RuntimeStateError("shared read outside a running task")
+        task = ctx.task
+        for hook in self._read_hooks:
+            hook(task, loc)
+
+    def record_write(self, loc) -> None:
+        """Report a write of ``loc`` by the current model task."""
+        ctx = self._ctx_var.get()
+        if ctx is None:
+            raise RuntimeStateError("shared write outside a running task")
+        task = ctx.task
+        for hook in self._write_hooks:
+            hook(task, loc)
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+    def _spawn(
+        self,
+        kind: TaskKind,
+        body: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: Optional[str],
+    ) -> Task:
+        ctx = self._require_ctx()
+        parent = ctx.task
+        ief = ctx.finish_stack[-1]
+        child = Task(self._next_tid, kind, parent=parent, ief=ief, name=name)
+        self._next_tid += 1
+        parent.num_children += 1
+        ief.register(child)
+        self._done[child.tid] = asyncio.Event()
+        for ob in self._observers:
+            ob.on_task_create(parent, child)
+        if self._obs is not None:
+            self._obs.task_begin(child.tid, child.name, child.is_future)
+        atask = asyncio.get_running_loop().create_task(
+            self._run_task(child, body, args, kwargs), name=child.name
+        )
+        self._scope_tasks[ief.fid].append(atask)
+        return child
+
+    async def _run_task(
+        self, task: Task, body: Callable, args: tuple, kwargs: dict
+    ) -> None:
+        # First action: install a fresh context — this asyncio task runs
+        # in a *copy* of the spawn-time context, so the set is task-local
+        # and the parent's mutable finish stack is never shared.
+        self._ctx_var.set(_TaskCtx(task))
+        try:
+            if inspect.iscoroutinefunction(body):
+                task.value = await body(*args, **kwargs)
+            else:
+                result = body(*args, **kwargs)
+                if inspect.isawaitable(result):
+                    result = await result
+                task.value = result
+        except BaseException as exc:  # stored, re-raised at join points
+            task.exception = exc
+        for ob in self._observers:
+            ob.on_task_end(task)
+        if self._obs is not None:
+            self._obs.task_end(task.tid)
+        # Done signal strictly after on_task_end (RuntimeBase contract):
+        # awaiting consumers observe a finalized producer.
+        task.completed = True
+        self._done[task.tid].set()
+
+    async def _on_get(self, handle: FutureHandle) -> Any:
+        ctx = self._require_ctx()
+        consumer = ctx.task
+        producer = handle.task
+        if not producer.completed:
+            await self._done[producer.tid].wait()
+        for ob in self._observers:
+            ob.on_get(consumer, producer)
+        if self._obs is not None:
+            self._obs.on_get(consumer.tid, producer.tid)
+        if producer.exception is not None:
+            self._delivered.add(producer.tid)
+            raise producer.exception
+        return producer.value
+
+    async def _drain_scope(self, scope: FinishScope) -> None:
+        # Tasks already in the scope may spawn more with the same IEF
+        # while we await, so drain in rounds until the list stays empty.
+        pending = self._scope_tasks[scope.fid]
+        while pending:
+            batch = pending[:]
+            del pending[: len(batch)]
+            await asyncio.gather(*batch)
+
+    def _raise_child_failure(self, scope: FinishScope) -> None:
+        # Exceptions already delivered at a get() are handled; the rest
+        # re-raise at the finish boundary.
+        for task in scope.joins:
+            if task.exception is not None and task.tid not in self._delivered:
+                raise task.exception
+
+    def _require_ctx(self) -> _TaskCtx:
+        ctx = self._ctx_var.get()
+        if ctx is None:
+            raise RuntimeStateError(
+                "parallel construct used outside a running task"
+            )
+        return ctx
+
+    @property
+    def current_task(self) -> Optional[Task]:
+        """The model task the calling coroutine belongs to, if any."""
+        ctx = self._ctx_var.get()
+        return ctx.task if ctx is not None else None
+
+    @property
+    def num_tasks(self) -> int:
+        """Total tasks created so far (including main)."""
+        return self._next_tid

@@ -1,0 +1,663 @@
+"""ThreadRuntime — a work-stealing threaded executor with online detection.
+
+ROADMAP item 1: the serial :class:`~repro.runtime.runtime.Runtime` is the
+*elision* of the async/finish/future model; this module is the model run
+for real.  Tasks execute on a pool of ``threading`` workers scheduled by
+the Blumofe–Leiserson discipline the simulator
+(:mod:`repro.runtime.workstealing`) models in virtual time:
+
+* each worker owns a LIFO deque — it pushes and pops freshly spawned
+  tasks at the *newest* end (depth-first locally, like the serial
+  elision);
+* an idle worker steals from a uniformly random victim (never itself) at
+  the *oldest* end — breadth-first globally, which is what bounds space
+  and exposes parallelism;
+* tasks spawned by non-worker threads (the caller running ``main``)
+  land on a shared FIFO inject queue that every worker also polls.
+
+**Blocking and compensation.**  ``get()`` on an incomplete future and
+finish-scope exit are real blocking waits here.  A blocked worker cannot
+"help" by running queued tasks on top of its stack — with futures that
+deadlocks (the queued task may transitively ``get`` the very future the
+pinned task below it must produce) — so the pool uses compensation
+threads instead (the managed-blocker idea from java.util.concurrent's
+ForkJoinPool): before a worker blocks, it starts a spare worker whenever
+the runnable-worker count would drop below the configured parallelism
+(bounded by ``max_threads``).  Because the task DAG is acyclic, some
+runnable task always exists while anything is blocked, and a spare's
+randomized-victim scan covers *every* deque before sleeping, so progress
+is guaranteed.
+
+**Online detection.**  Observers are dispatched during the parallel
+execution under the two-tier locking discipline of ALGORITHM.md §15:
+
+* *structural* events (init/spawn/task-end/get/finish) are rare and
+  serialize under one exclusive lock, so every observer sees a single
+  consistent structural order and
+  :class:`~repro.core.parallel_detector.ParallelRaceDetector`'s
+  ``mutation_epoch`` ticks atomically with the mutation;
+* *access* events (read/write — the hot path) bypass the structural
+  lock entirely and serialize only per location, via 64 striped locks
+  (``hash(loc) % 64``), so checks on different locations genuinely
+  overlap.
+
+Pair this runtime with schedule-robust observers only — the DTRG
+detector family assumes depth-first event order and is rejected by
+``tools/racecheck.py`` for ``--runtime threads``; the supported engine
+is :class:`~repro.core.parallel_detector.ParallelRaceDetector`, whose
+location-level verdict is exact under any schedule (README "Choosing a
+runtime").
+
+Event-ordering guarantees (the :class:`~repro.runtime.base.RuntimeBase`
+contract detectors rely on):
+
+* a task's ``on_task_end`` is dispatched *before* its completion flag /
+  done signal, hence before any ``on_get`` naming it as producer and
+  before its IEF's pending count can reach zero — vector-clock engines
+  always join against a frozen producer clock;
+* ``on_finish_end`` is dispatched only after every task registered in
+  the scope (including transitively spawned ones with the same IEF) has
+  completed.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import os
+import random
+import threading
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar
+
+from repro.core.events import ExecutionObserver
+from repro.runtime.errors import NullFutureError, RuntimeStateError
+from repro.runtime.finish import FinishScope
+from repro.runtime.future import FutureHandle
+from repro.runtime.task import Task, TaskKind
+
+__all__ = ["ThreadRuntime"]
+
+T = TypeVar("T")
+
+#: Number of striped per-location access locks.
+_STRIPES = 64
+
+
+class _TaskCtx:
+    """Per-task execution context, owned by the thread running the task."""
+
+    __slots__ = ("task", "finish_stack")
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+        self.finish_stack: List[FinishScope] = (
+            [] if task.ief is None else [task.ief]
+        )
+
+
+class _Slot:
+    """One worker's deque plus its lock (appended atomically as a pair)."""
+
+    __slots__ = ("lock", "deque")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.deque: collections.deque = collections.deque()
+
+
+class ThreadRuntime:
+    """Work-stealing threaded executor for async/finish/future programs.
+
+    Parameters
+    ----------
+    observers:
+        Instrumentation consumers.  Must be schedule-robust (see the
+        module docstring); dispatched under the locking discipline above.
+    workers:
+        Target parallelism (worker thread count).  Defaults to
+        ``min(4, os.cpu_count())``.  Compensation threads may temporarily
+        exceed it while tasks block.
+    obs:
+        Optional :class:`repro.obs.Observability` sink: task/finish spans
+        and get instants like the serial runtime, plus real-thread worker
+        spans, per-task run spans and steal instants on
+        ``exec-worker-<n>`` tracks.
+    max_threads:
+        Hard cap on pool size including compensation threads.
+    steal_seed:
+        Seed for the per-worker victim-selection RNGs (reproducible
+        steal *attempt* sequences; the schedule itself remains
+        nondeterministic, which is the point).
+    provenance:
+        Rejected when enabled: call-site flight recording assumes the
+        serial depth-first runtime.  Use the serial ``Runtime`` (or
+        ``racecheck --runtime serial --explain``).
+    """
+
+    def __init__(
+        self,
+        observers: Iterable[ExecutionObserver] = (),
+        *,
+        workers: Optional[int] = None,
+        obs=None,
+        max_threads: int = 256,
+        steal_seed: int = 0,
+        provenance=None,
+    ) -> None:
+        if provenance is not None and getattr(provenance, "enabled", False):
+            raise ValueError(
+                "ThreadRuntime does not support provenance: call-site "
+                "attribution assumes the serial depth-first elision; run "
+                "the serial Runtime for --explain"
+            )
+        self._observers: List[ExecutionObserver] = list(observers)
+        self._obs = (
+            obs if obs is not None and getattr(obs, "enabled", False) else None
+        )
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = workers
+        self._max_threads = max(max_threads, workers)
+        self._steal_seed = steal_seed
+        self._running = False
+        self._next_tid = 0
+        self._next_fid = 0
+        self.main_task: Optional[Task] = None
+        # --- scheduling state -----------------------------------------
+        self._slots: List[_Slot] = []
+        self._inject: collections.deque = collections.deque()
+        self._inject_lock = threading.Lock()
+        self._work_cv = threading.Condition()
+        self._work_version = 0
+        self._shutdown = False
+        self._threads: List[threading.Thread] = []
+        self._tls = threading.local()
+        # --- pool accounting (compensation) ---------------------------
+        self._pool_lock = threading.Lock()
+        self._live = 0
+        self._blocked = 0
+        # --- detection locking tiers ----------------------------------
+        self._struct_lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(_STRIPES)]
+        # --- join/finish signalling -----------------------------------
+        self._join_cv = threading.Condition()
+        self._pending: Dict[int, int] = {}
+        # --- pre-bound hot-path hook lists (rebuilt at run()) ---------
+        self._read_hooks: List[Callable] = []
+        self._write_hooks: List[Callable] = []
+        #: tids whose exception was already delivered at a get() — the
+        #: enclosing finish does not re-raise those (guarded by _join_cv).
+        self._delivered: set = set()
+        # --- stats ----------------------------------------------------
+        self._stats_lock = threading.Lock()
+        self.steals = 0
+        self.failed_steals = 0
+        self.compensation_threads = 0
+
+    # ------------------------------------------------------------------ #
+    # Observer management                                                #
+    # ------------------------------------------------------------------ #
+    def add_observer(self, observer: ExecutionObserver) -> None:
+        """Register an observer; only allowed before :meth:`run`."""
+        if self._running:
+            raise RuntimeStateError("cannot add observers while running")
+        self._observers.append(observer)
+
+    @property
+    def observers(self) -> List[ExecutionObserver]:
+        return list(self._observers)
+
+    # ------------------------------------------------------------------ #
+    # Program execution                                                  #
+    # ------------------------------------------------------------------ #
+    def run(self, program: Callable[["ThreadRuntime"], T]) -> T:
+        """Execute ``program(self)`` as the main task on the caller thread.
+
+        Spawned tasks run on the worker pool; the caller thread blocks at
+        joins like any task.  Single-use, like the serial runtime.
+        """
+        if self._running:
+            raise RuntimeStateError("runtime is already running a program")
+        if self._next_tid != 0:
+            raise RuntimeStateError(
+                "runtime instances are single-use; create a new ThreadRuntime"
+            )
+        self._running = True
+        self._read_hooks = [ob.on_read for ob in self._observers]
+        self._write_hooks = [ob.on_write for ob in self._observers]
+
+        main = Task(self._next_tid, TaskKind.MAIN, parent=None, ief=None)
+        self._next_tid += 1
+        self.main_task = main
+        ctx = _TaskCtx(main)
+        self._tls.ctx = ctx
+        obs = self._obs
+        with self._struct_lock:
+            for ob in self._observers:
+                ob.on_init(main)
+            if obs is not None:
+                obs.task_begin(main.tid, main.name, False)
+            root = FinishScope(self._next_fid, owner=main, enclosing=None)
+            self._next_fid += 1
+            self._pending[root.fid] = 0
+            for ob in self._observers:
+                ob.on_finish_start(root)
+            if obs is not None:
+                obs.finish_begin(root.fid, main.tid)
+        ctx.finish_stack.append(root)
+        self._start_workers()
+        try:
+            try:
+                result = program(self)
+            except BaseException:
+                # Abandon the root scope like the serial runtime — but
+                # children are genuinely in flight here, so drain them
+                # before tearing the pool down.
+                self._wait_scope(root)
+                root.closed = True
+                raise
+            ctx.finish_stack.pop()
+            self._wait_scope(root)
+            root.closed = True
+            self._raise_child_failure(root)
+            with self._struct_lock:
+                for ob in self._observers:
+                    ob.on_finish_end(root)
+            main.completed = True
+            with self._struct_lock:
+                for ob in self._observers:
+                    ob.on_task_end(main)
+                    ob.on_shutdown(main)
+                if obs is not None:
+                    obs.finish_end(root.fid)
+                    obs.task_end(main.tid)
+            return result
+        finally:
+            self._stop_workers()
+            self._running = False
+            self._tls.ctx = None
+
+    # ------------------------------------------------------------------ #
+    # Parallel constructs                                                #
+    # ------------------------------------------------------------------ #
+    def async_(
+        self,
+        body: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Task:
+        """``async { body(...) }`` — spawn; the Task runs on the pool."""
+        return self._spawn(TaskKind.ASYNC, body, args, kwargs, name)
+
+    def future(
+        self,
+        body: Callable[..., T],
+        *args: Any,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> FutureHandle[T]:
+        """``future<T> f = async<T> body(...)`` — spawn a future task."""
+        task = self._spawn(TaskKind.FUTURE, body, args, kwargs, name)
+        return FutureHandle(self, task)
+
+    @contextlib.contextmanager
+    def finish(self):
+        """``finish { ... }`` — scope exit blocks until every task spawned
+        inside (transitively, with this scope as IEF) has completed."""
+        ctx = self._require_ctx()
+        current = ctx.task
+        obs = self._obs
+        with self._struct_lock:
+            scope = FinishScope(
+                self._next_fid, owner=current, enclosing=ctx.finish_stack[-1]
+            )
+            self._next_fid += 1
+            self._pending[scope.fid] = 0
+            for ob in self._observers:
+                ob.on_finish_start(scope)
+            if obs is not None:
+                obs.finish_begin(scope.fid, current.tid)
+        ctx.finish_stack.append(scope)
+        try:
+            yield scope
+        except BaseException:
+            while ctx.finish_stack and ctx.finish_stack[-1] is not scope:
+                ctx.finish_stack.pop().closed = True
+            if ctx.finish_stack and ctx.finish_stack[-1] is scope:
+                ctx.finish_stack.pop()
+            self._wait_scope(scope)
+            scope.closed = True
+            raise
+        top = ctx.finish_stack.pop()
+        if top is not scope:  # pragma: no cover - defensive
+            raise RuntimeStateError("finish scopes exited out of order")
+        self._wait_scope(scope)
+        scope.closed = True
+        self._raise_child_failure(scope)
+        with self._struct_lock:
+            for ob in self._observers:
+                ob.on_finish_end(scope)
+            if obs is not None:
+                obs.finish_end(scope.fid)
+
+    def forall(
+        self,
+        iterable,
+        body: Callable[..., Any],
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        """``forall (item in iterable) { body(item) }``."""
+        with self.finish():
+            for index, item in enumerate(iterable):
+                self.async_(
+                    body, item,
+                    name=f"{name or 'forall'}[{index}]",
+                )
+
+    def get(self, handle: Optional[FutureHandle[T]]) -> T:
+        """Null-checked ``get``: blocks until the producer completes."""
+        if handle is None:
+            raise NullFutureError(
+                "get() on a null future reference: the handle's publishing "
+                "write raced with this read (Appendix A)"
+            )
+        return handle.get()
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory instrumentation entry points                         #
+    # ------------------------------------------------------------------ #
+    def record_read(self, loc) -> None:
+        """Report a read of ``loc`` — serialized per location (stripe)."""
+        ctx = getattr(self._tls, "ctx", None)
+        if ctx is None:
+            raise RuntimeStateError("shared read outside a running task")
+        task = ctx.task
+        with self._stripes[hash(loc) % _STRIPES]:
+            for hook in self._read_hooks:
+                hook(task, loc)
+
+    def record_write(self, loc) -> None:
+        """Report a write of ``loc`` — serialized per location (stripe)."""
+        ctx = getattr(self._tls, "ctx", None)
+        if ctx is None:
+            raise RuntimeStateError("shared write outside a running task")
+        task = ctx.task
+        with self._stripes[hash(loc) % _STRIPES]:
+            for hook in self._write_hooks:
+                hook(task, loc)
+
+    # ------------------------------------------------------------------ #
+    # Spawning and joining                                               #
+    # ------------------------------------------------------------------ #
+    def _spawn(
+        self,
+        kind: TaskKind,
+        body: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: Optional[str],
+    ) -> Task:
+        ctx = self._require_ctx()
+        parent = ctx.task
+        ief = ctx.finish_stack[-1]
+        obs = self._obs
+        with self._struct_lock:
+            child = Task(
+                self._next_tid, kind, parent=parent, ief=ief, name=name
+            )
+            self._next_tid += 1
+            parent.num_children += 1
+            ief.register(child)
+            self._pending[ief.fid] += 1
+            for ob in self._observers:
+                ob.on_task_create(parent, child)
+            if obs is not None:
+                obs.task_begin(child.tid, child.name, child.is_future)
+        self._push((child, body, args, kwargs))
+        return child
+
+    def _on_get(self, handle: FutureHandle) -> Any:
+        ctx = self._require_ctx()
+        consumer = ctx.task
+        producer = handle.task
+        if not producer.completed:
+            self._blocking_wait("get", lambda: producer.completed)
+        with self._struct_lock:
+            for ob in self._observers:
+                ob.on_get(consumer, producer)
+            if self._obs is not None:
+                self._obs.on_get(consumer.tid, producer.tid)
+        if producer.exception is not None:
+            with self._join_cv:
+                self._delivered.add(producer.tid)
+            raise producer.exception
+        return producer.value
+
+    def _raise_child_failure(self, scope: FinishScope) -> None:
+        # A failed future whose exception was already delivered at a
+        # ``get()`` is considered handled; everything else re-raises here.
+        for task in scope.joins:
+            if task.exception is not None and task.tid not in self._delivered:
+                raise task.exception
+
+    def _wait_scope(self, scope: FinishScope) -> None:
+        fid = scope.fid
+        pending = self._pending
+        if pending[fid]:
+            self._blocking_wait("finish", lambda: pending[fid] == 0)
+
+    def _blocking_wait(self, kind: str, predicate: Callable[[], bool]) -> None:
+        """Block the calling thread until ``predicate`` holds.
+
+        Worker threads register as blocked first, which may start a
+        compensation worker so the pool keeps ``workers`` runnable
+        threads (see the module docstring).  The timeout re-check is a
+        belt-and-braces guard against lost wakeups, not a spin loop.
+        """
+        wid = getattr(self._tls, "worker_id", None)
+        if wid is not None:
+            self._before_block(wid, kind)
+        try:
+            with self._join_cv:
+                while not predicate():
+                    self._join_cv.wait(0.1)
+        finally:
+            if wid is not None:
+                self._after_block()
+
+    def _before_block(self, wid: int, kind: str) -> None:
+        spawn = False
+        with self._pool_lock:
+            self._blocked += 1
+            if (
+                not self._shutdown
+                and self._live - self._blocked < self._workers
+                and self._live < self._max_threads
+            ):
+                self._live += 1
+                self.compensation_threads += 1
+                spawn = True
+        if self._obs is not None:
+            self._obs.exec_block(wid, kind)
+        if spawn:
+            self._start_one_worker()
+
+    def _after_block(self) -> None:
+        with self._pool_lock:
+            self._blocked -= 1
+
+    # ------------------------------------------------------------------ #
+    # The work-stealing pool                                             #
+    # ------------------------------------------------------------------ #
+    def _start_workers(self) -> None:
+        with self._pool_lock:
+            self._live = self._workers
+        for _ in range(self._workers):
+            self._start_one_worker()
+
+    def _start_one_worker(self) -> None:
+        wid = len(self._slots)
+        self._slots.append(_Slot())
+        thread = threading.Thread(
+            target=self._worker_loop, args=(wid,),
+            name=f"repro-exec-{wid}", daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _stop_workers(self) -> None:
+        self._shutdown = True
+        with self._work_cv:
+            self._work_version += 1
+            self._work_cv.notify_all()
+        with self._join_cv:
+            self._join_cv.notify_all()
+        for thread in self._threads:
+            thread.join()
+
+    def _push(self, item: tuple) -> None:
+        wid = getattr(self._tls, "worker_id", None)
+        if wid is None:
+            with self._inject_lock:
+                self._inject.append(item)
+        else:
+            slot = self._slots[wid]
+            with slot.lock:
+                slot.deque.append(item)  # newest end (owner LIFO)
+        with self._work_cv:
+            self._work_version += 1
+            self._work_cv.notify_all()
+
+    def _worker_loop(self, wid: int) -> None:
+        self._tls.worker_id = wid
+        obs = self._obs
+        if obs is not None:
+            obs.exec_worker_begin(wid)
+        rng = random.Random((self._steal_seed << 16) ^ 0x9E3779B1 ^ wid)
+        try:
+            while True:
+                item = self._next_item(wid, rng)
+                if item is None:
+                    return  # shutdown
+                self._execute(wid, item)
+        finally:
+            if obs is not None:
+                obs.exec_worker_end(wid)
+
+    def _next_item(self, wid: int, rng: random.Random) -> Optional[tuple]:
+        while True:
+            with self._work_cv:
+                version = self._work_version
+            item = self._try_pop(wid, rng)
+            if item is not None:
+                return item
+            if self._shutdown:
+                return None
+            with self._work_cv:
+                if self._work_version == version and not self._shutdown:
+                    self._work_cv.wait(0.1)
+
+    def _try_pop(self, wid: int, rng: random.Random) -> Optional[tuple]:
+        # 1. Own deque, newest end (local depth-first, like the elision).
+        slot = self._slots[wid]
+        with slot.lock:
+            if slot.deque:
+                return slot.deque.pop()
+        # 2. The shared inject queue (tasks spawned by the caller thread).
+        with self._inject_lock:
+            if self._inject:
+                return self._inject.popleft()
+        # 3. Steal: visit every other deque in uniformly random order,
+        #    taking the *oldest* end (Blumofe–Leiserson).  Scanning all
+        #    victims (not one probe) before sleeping guarantees progress.
+        n = len(self._slots)
+        if n > 1:
+            victims = [v for v in range(n) if v != wid]
+            rng.shuffle(victims)
+            for victim in victims:
+                vslot = self._slots[victim]
+                with vslot.lock:
+                    if vslot.deque:
+                        item = vslot.deque.popleft()
+                    else:
+                        item = None
+                if item is not None:
+                    with self._stats_lock:
+                        self.steals += 1
+                    if self._obs is not None:
+                        self._obs.exec_steal(wid, victim, hit=True)
+                    return item
+            with self._stats_lock:
+                self.failed_steals += 1
+            if self._obs is not None:
+                self._obs.exec_steal(wid, victims[-1], hit=False)
+        return None
+
+    def _execute(self, wid: int, item: tuple) -> None:
+        task, body, args, kwargs = item
+        ctx = _TaskCtx(task)
+        self._tls.ctx = ctx
+        obs = self._obs
+        start = perf_counter() if obs is not None else 0.0
+        try:
+            value: Any = body(*args, **kwargs)
+            exc: Optional[BaseException] = None
+        except BaseException as e:  # stored, re-raised at join points
+            value, exc = None, e
+        finally:
+            self._tls.ctx = None
+        with self._struct_lock:
+            task.value = value
+            task.exception = exc
+            for ob in self._observers:
+                ob.on_task_end(task)
+            if obs is not None:
+                obs.task_end(task.tid)
+        if obs is not None:
+            now = perf_counter()
+            obs.exec_task_run(
+                wid, task.tid, start * 1e6, (now - start) * 1e6
+            )
+        # Completion signal strictly after on_task_end: joiners woken
+        # here observe a finalized (frozen-clock) producer.
+        with self._join_cv:
+            task.completed = True
+            self._pending[task.ief.fid] -= 1
+            self._join_cv.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    def _require_ctx(self) -> _TaskCtx:
+        ctx = getattr(self._tls, "ctx", None)
+        if ctx is None:
+            raise RuntimeStateError(
+                "parallel construct used outside a running task"
+            )
+        return ctx
+
+    @property
+    def current_task(self) -> Optional[Task]:
+        """The task the *calling thread* is executing, if any."""
+        ctx = getattr(self._tls, "ctx", None)
+        return ctx.task if ctx is not None else None
+
+    @property
+    def num_tasks(self) -> int:
+        """Total tasks created so far (including main)."""
+        return self._next_tid
+
+    @property
+    def workers(self) -> int:
+        """Configured target parallelism."""
+        return self._workers
+
+    @property
+    def pool_size(self) -> int:
+        """Worker threads started so far (including compensation)."""
+        return len(self._threads)

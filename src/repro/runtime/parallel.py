@@ -54,14 +54,43 @@ class MemoryOutcome:
     read_sees: Tuple[Tuple[Hashable, int, Optional[int]], ...]
 
     def differs_from(self, other: "MemoryOutcome") -> List[str]:
-        """Human-readable list of observable differences."""
+        """Human-readable list of observable differences.
+
+        Entries are aligned by location key (and, for reads, the read's
+        per-location index), never positionally: two outcomes built from
+        different graphs may enumerate locations in different orders or
+        cover different location sets, and a positional ``zip`` would both
+        misreport aligned pairs and silently drop the longer tail.
+        Locations or reads present in only one outcome are reported too.
+        """
         diffs = []
-        for (loc_a, w_a), (loc_b, w_b) in zip(self.final_writer, other.final_writer):
-            if w_a != w_b:
-                diffs.append(f"final value of {loc_a!r}: step {w_a} vs {w_b}")
-        for (loc_a, i, s_a), (_, _, s_b) in zip(self.read_sees, other.read_sees):
-            if s_a != s_b:
-                diffs.append(f"read #{i} of {loc_a!r} sees write {s_a} vs {s_b}")
+        final_a = dict(self.final_writer)
+        final_b = dict(other.final_writer)
+        locs = list(final_a) + [l for l in final_b if l not in final_a]
+        for loc in sorted(locs, key=repr):
+            if loc not in final_a:
+                diffs.append(f"location {loc!r} only in other outcome")
+            elif loc not in final_b:
+                diffs.append(f"location {loc!r} only in this outcome")
+            elif final_a[loc] != final_b[loc]:
+                diffs.append(
+                    f"final value of {loc!r}: "
+                    f"step {final_a[loc]} vs {final_b[loc]}"
+                )
+        reads_a = {(loc, i): s for loc, i, s in self.read_sees}
+        reads_b = {(loc, i): s for loc, i, s in other.read_sees}
+        keys = list(reads_a) + [k for k in reads_b if k not in reads_a]
+        for key in sorted(keys, key=lambda k: (repr(k[0]), k[1])):
+            loc, i = key
+            if key not in reads_a:
+                diffs.append(f"read #{i} of {loc!r} only in other outcome")
+            elif key not in reads_b:
+                diffs.append(f"read #{i} of {loc!r} only in this outcome")
+            elif reads_a[key] != reads_b[key]:
+                diffs.append(
+                    f"read #{i} of {loc!r} sees write "
+                    f"{reads_a[key]} vs {reads_b[key]}"
+                )
         return diffs
 
 

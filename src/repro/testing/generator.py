@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro.memory.shared import SharedArray
+from repro.runtime.asyncio_runtime import AsyncioRuntime
+from repro.runtime.executor import ThreadRuntime
 from repro.runtime.runtime import Runtime
 
 try:  # hypothesis is a dev dependency; the module works without it.
@@ -49,6 +51,9 @@ __all__ = [
     "Finish",
     "Program",
     "run_program",
+    "run_program_values",
+    "run_program_threads",
+    "run_program_asyncio",
     "random_program",
     "program_strategy",
     "count_stmts",
@@ -207,6 +212,153 @@ def run_program(
 
     rt.run(lambda _rt: exec_body(program.body, []))
     return rt
+
+
+# ---------------------------------------------------------------------- #
+# Runtime-parametric execution (runtime-parity sweeps, PR 8)             #
+# ---------------------------------------------------------------------- #
+# The interpreters below execute the same AST on any RuntimeBase
+# implementation and write *statement-path tokens* instead of ``None``:
+# every statement of a generated program executes exactly once (the AST
+# is a tree and each construct spawns once), so the token identifies the
+# write uniquely and the final memory state is a schedule-independent
+# fingerprint for race-free programs — the executable form of the
+# Determinism Property that the parity tests compare across the serial,
+# threaded and asyncio substrates.  Handle-flow caveat: only the scoped
+# mode is schedule-independent (the wild registry's creation order is a
+# race by construction), so parity legs always run scoped.
+
+
+def _make_sync_interpreter(rt, mem, *, scoped_handles: bool, values: bool):
+    registry: List = []  # wild mode: all handles in creation order
+
+    def exec_body(body: Sequence[Stmt], visible: List, path: tuple = ()) -> None:
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, Read):
+                mem.read(stmt.loc)
+            elif isinstance(stmt, Write):
+                mem.write(stmt.loc, path + (i,) if values else None)
+            elif isinstance(stmt, Get):
+                pool = visible if scoped_handles else registry
+                if pool:
+                    idx = min(int(stmt.selector * len(pool)), len(pool) - 1)
+                    pool[idx].get()
+            elif isinstance(stmt, Async):
+                rt.async_(exec_body, stmt.body, list(visible), path + (i,))
+            elif isinstance(stmt, Future):
+                handle = rt.future(
+                    exec_body, stmt.body, list(visible), path + (i,)
+                )
+                visible.append(handle)
+                registry.append(handle)
+            elif isinstance(stmt, Finish):
+                with rt.finish():
+                    exec_body(stmt.body, visible, path + (i,))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown statement {stmt!r}")
+
+    return exec_body
+
+
+def _make_async_interpreter(rt, mem, *, scoped_handles: bool, values: bool):
+    registry: List = []
+
+    async def exec_body(
+        body: Sequence[Stmt], visible: List, path: tuple = ()
+    ) -> None:
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, Read):
+                mem.read(stmt.loc)
+            elif isinstance(stmt, Write):
+                mem.write(stmt.loc, path + (i,) if values else None)
+            elif isinstance(stmt, Get):
+                pool = visible if scoped_handles else registry
+                if pool:
+                    idx = min(int(stmt.selector * len(pool)), len(pool) - 1)
+                    await pool[idx].get()
+            elif isinstance(stmt, Async):
+                rt.async_(exec_body, stmt.body, list(visible), path + (i,))
+            elif isinstance(stmt, Future):
+                handle = rt.future(
+                    exec_body, stmt.body, list(visible), path + (i,)
+                )
+                visible.append(handle)
+                registry.append(handle)
+            elif isinstance(stmt, Finish):
+                async with rt.finish():
+                    await exec_body(stmt.body, visible, path + (i,))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown statement {stmt!r}")
+
+    return exec_body
+
+
+def run_program_values(
+    program: Program,
+    observers: Sequence = (),
+    *,
+    scoped_handles: bool = True,
+    obs=None,
+):
+    """Serial depth-first execution with path-token writes.
+
+    The reference leg of the runtime-parity sweep: same substrate as
+    :func:`run_program` but writes statement-path tokens so the final
+    memory is comparable.  Returns ``(runtime, final_memory)``.
+    """
+    rt = Runtime(observers=list(observers), obs=obs)
+    mem = SharedArray(rt, "x", program.num_locs)
+    exec_body = _make_sync_interpreter(
+        rt, mem, scoped_handles=scoped_handles, values=True
+    )
+    rt.run(lambda _rt: exec_body(program.body, [], ()))
+    return rt, mem.to_list()
+
+
+def run_program_threads(
+    program: Program,
+    observers: Sequence = (),
+    *,
+    workers: int = 2,
+    scoped_handles: bool = True,
+    obs=None,
+    steal_seed: int = 0,
+):
+    """Execute ``program`` on a :class:`ThreadRuntime` with path-token
+    writes.  Returns ``(runtime, final_memory)``; observers must be
+    schedule-robust (``ParallelRaceDetector``)."""
+    rt = ThreadRuntime(
+        observers=list(observers), workers=workers, obs=obs,
+        steal_seed=steal_seed,
+    )
+    mem = SharedArray(rt, "x", program.num_locs)
+    exec_body = _make_sync_interpreter(
+        rt, mem, scoped_handles=scoped_handles, values=True
+    )
+    rt.run(lambda _rt: exec_body(program.body, [], ()))
+    return rt, mem.to_list()
+
+
+def run_program_asyncio(
+    program: Program,
+    observers: Sequence = (),
+    *,
+    scoped_handles: bool = True,
+    obs=None,
+):
+    """Execute ``program`` on an :class:`AsyncioRuntime` with path-token
+    writes.  Returns ``(runtime, final_memory)``."""
+    rt = AsyncioRuntime(observers=list(observers), obs=obs)
+    mem = SharedArray(rt, "x", program.num_locs)
+    exec_body = _make_async_interpreter(
+        rt, mem, scoped_handles=scoped_handles, values=True
+    )
+
+    async def main(_rt):
+        await exec_body(program.body, [], ())
+
+    rt.run(main)
+    return rt, mem.to_list()
 
 
 # ---------------------------------------------------------------------- #

@@ -72,11 +72,15 @@ from repro.testing.codec import (
     entry_to_data,
     entry_from_data,
 )
+from repro.core.parallel_detector import ParallelRaceDetector
 from repro.testing.generator import (
     Program,
     count_stmts,
     random_program,
     run_program,
+    run_program_asyncio,
+    run_program_threads,
+    run_program_values,
 )
 from repro.testing.shrinker import shrink_program
 from repro.tools.racecheck import DETECTORS
@@ -129,6 +133,22 @@ WILD = (ORACLE,) + GENERAL + tuple(BACKENDS)
 #: must reproduce the sequential dtrg racy set *and* byte-identical
 #: ``RaceReport.summary()`` text at every job count.
 PARALLEL_NAME = "dtrg[parallel]"
+#: Runtime-parity rows (``--runtimes``, PR 8): the same scoped program is
+#: *executed for real* on every substrate — the serial elision, the
+#: work-stealing ThreadRuntime at several pool sizes, and the cooperative
+#: AsyncioRuntime — each with a fresh
+#: :class:`~repro.core.parallel_detector.ParallelRaceDetector` checking
+#: online.  Every row must report exactly the oracle's racy-location set,
+#: and on race-free programs every row's final memory (statement-path
+#: write tokens — each DSL statement executes exactly once, so the final
+#: tokens are a schedule-independent fingerprint) must equal the serial
+#: elision's.  Scoped mode only: wild-registry publication order is racy
+#: by construction, so cross-schedule comparison is meaningless there.
+RUNTIME_WORKERS = (1, 2, 4)
+RUNTIME_SERIAL = "runtime[serial]"
+RUNTIME_ROWS = tuple(
+    f"runtime[threads-{w}]" for w in RUNTIME_WORKERS
+) + ("runtime[asyncio]",)
 
 
 def _make_detector(name: str, obs=None):
@@ -183,7 +203,8 @@ class FuzzStats:
     def detector_rows(self) -> List[Dict[str, object]]:
         order = (
             (ORACLE,) + GENERAL + RESTRICTED + tuple(ABLATIONS)
-            + tuple(BACKENDS) + (PARALLEL_NAME,)
+            + tuple(BACKENDS) + (PARALLEL_NAME, RUNTIME_SERIAL)
+            + RUNTIME_ROWS
         )
         rows = []
         for name in order:
@@ -223,6 +244,23 @@ def _run_live(
         observers.append(recorder)
     run_program(program, observers, scoped_handles=scoped, obs=obs)
     return det, (recorder.trace if recorder is not None else None)
+
+
+def _run_runtime(name: str, program: Program, seed: int = 0):
+    """Execute ``program`` on the named substrate with a fresh
+    :class:`ParallelRaceDetector` and statement-path write tokens.
+    Returns ``(racy-location verdict, final memory fingerprint)``."""
+    det = ParallelRaceDetector()
+    if name == RUNTIME_SERIAL:
+        _rt, mem = run_program_values(program, [det])
+    elif name == "runtime[asyncio]":
+        _rt, mem = run_program_asyncio(program, [det])
+    else:
+        workers = int(name.rsplit("-", 1)[-1].rstrip("]"))
+        _rt, mem = run_program_threads(
+            program, [det], workers=workers, steal_seed=seed
+        )
+    return _verdict(det), mem
 
 
 def _triage_witnesses(program: Program):
@@ -319,6 +357,22 @@ def _parallel_predicate(jobs: int) -> Callable[[Program], bool]:
     return holds
 
 
+def _runtime_divergence_predicate(
+    name: str, seed: int
+) -> Callable[[Program], bool]:
+    """Reproduction check for a runtime-parity verdict divergence."""
+
+    def holds(candidate: Program) -> bool:
+        try:
+            oracle, _ = _run_live(ORACLE, candidate, scoped=True)
+            got, _mem = _run_runtime(name, candidate, seed)
+        except Exception:
+            return False
+        return got != _verdict(oracle)
+
+    return holds
+
+
 def _crash_predicate(
     name: str, exc_type: type, scoped: bool
 ) -> Callable[[Program], bool]:
@@ -342,6 +396,7 @@ def check_seed(
     stats: Optional[FuzzStats] = None,
     obs=None,
     jobs: int = 1,
+    runtimes: bool = False,
 ) -> List[FuzzFailure]:
     """Differentially check one program; returns un-shrunk failures.
 
@@ -355,6 +410,12 @@ def check_seed(
     {1, ``jobs``}, and any deviation from the live dtrg racy set or from
     the sequential replay's ``summary()`` text is a
     ``parallel-divergence`` failure.
+
+    ``runtimes`` adds the :data:`RUNTIME_ROWS` parity legs per scoped
+    seed: real execution on the serial elision, ThreadRuntime at
+    {1, 2, 4} workers and AsyncioRuntime, each under a fresh online
+    ``ParallelRaceDetector`` — racy sets must match the oracle, and
+    race-free final memory must match the serial elision's.
     """
     stats = stats if stats is not None else FuzzStats()
     failures: List[FuzzFailure] = []
@@ -454,6 +515,37 @@ def check_seed(
                              f"(summary match: "
                              f"{result.summary() == seq_summary})")
 
+        if runtimes:
+            serial_mem = None
+            for name in (RUNTIME_SERIAL,) + RUNTIME_ROWS:
+                stats.tally(name, "runs")
+                try:
+                    got, mem = _run_runtime(name, program, seed)
+                except Exception as exc:
+                    stats.tally(name, "crashes")
+                    fail("scoped", "crash", name,
+                         f"scoped:crash:{name}:{type(exc).__name__}",
+                         f"{type(exc).__name__}: {exc}")
+                    continue
+                if got:
+                    stats.tally(name, "racy")
+                if got != want:
+                    stats.tally(name, "divergences")
+                    direction = _diff_direction(got, want)
+                    fail("scoped", "divergence", name,
+                         f"scoped:divergence:{name}:{direction}",
+                         f"{name} {sorted(got, key=repr)} vs oracle "
+                         f"{sorted(want, key=repr)}")
+                if name == RUNTIME_SERIAL:
+                    serial_mem = mem
+                elif not want and serial_mem is not None and mem != serial_mem:
+                    stats.tally(name, "divergences")
+                    fail("scoped", "memory-divergence", name,
+                         f"scoped:runtime-mem:{name}",
+                         f"{name} final memory diverged from the serial "
+                         "elision on a race-free program (Determinism "
+                         "Property violated)")
+
     if "wild" in modes:
         verdicts: Dict[str, Set] = {}
         for name in WILD:
@@ -533,6 +625,16 @@ def check_seed(
 
 def _shrink_failure(failure: FuzzFailure, budget: int) -> None:
     scoped = failure.mode == "scoped"
+    if failure.detector.startswith("runtime["):
+        if failure.kind == "divergence":
+            failure.minimized = shrink_program(
+                failure.program,
+                _runtime_divergence_predicate(failure.detector, failure.seed),
+                budget=budget,
+            )
+        # runtime crashes and memory divergences are schedule-dependent:
+        # a shrinker predicate would flake, so those repros stay unminimized.
+        return
     if failure.kind == "parallel-divergence":
         predicate = _parallel_predicate(
             int(failure.signature.rsplit(":", 1)[-1])
@@ -567,6 +669,7 @@ def fuzz_range(
     out=None,
     obs=None,
     jobs: int = 1,
+    runtimes: bool = False,
 ) -> Tuple[FuzzStats, List[FuzzFailure]]:
     """Fuzz ``seeds``; returns stats and signature-deduplicated failures."""
     generator_kwargs = generator_kwargs or {}
@@ -578,7 +681,8 @@ def fuzz_range(
         stats.programs += 1
         stats.statements += count_stmts(program.body)
         for failure in check_seed(
-            seed, program, modes=modes, stats=stats, obs=obs, jobs=jobs
+            seed, program, modes=modes, stats=stats, obs=obs, jobs=jobs,
+            runtimes=runtimes,
         ):
             if verbose or failure.signature not in unique:
                 print(f"[seed {failure.seed}] {failure.signature}: "
@@ -724,6 +828,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="N > 1 adds a parallel-parity leg per scoped "
                              "seed: the sharded checker must reproduce the "
                              "dtrg races and summary at jobs 1 and N")
+    parser.add_argument("--runtimes", action="store_true",
+                        help="add the runtime-parity rows per scoped seed: "
+                             "real execution on serial / ThreadRuntime "
+                             "(1, 2, 4 workers) / AsyncioRuntime, each "
+                             "under an online ParallelRaceDetector, with "
+                             "oracle racy-set parity and race-free "
+                             "final-memory parity")
     parser.add_argument("--perfetto", metavar="FILE",
                         help="write a Chrome trace of the scoped dtrg runs")
     parser.add_argument("--metrics-json", metavar="FILE", dest="metrics_json",
@@ -770,6 +881,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         verbose=args.verbose,
         obs=obs,
         jobs=args.jobs,
+        runtimes=args.runtimes,
     )
 
     print(render_table(stats.detector_rows()))

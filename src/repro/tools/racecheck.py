@@ -4,7 +4,10 @@ The command-line face of the library, analogous to running an HJ program
 with the instrumented runtime:
 
     repro-racecheck my_program.py [--detector dtrg|exact|espbags|spbags|
-                                   spd3|offset-span|vector-clock|brute-force]
+                                   spd3|offset-span|vector-clock|brute-force|
+                                   parallel]
+                                  [--runtime serial|threads|asyncio]
+                                  [--workers N]
                                   [--policy collect|raise]
                                   [--dot graph.dot] [--trace out.trace]
                                   [--metrics] [--witness]
@@ -60,6 +63,23 @@ only, no ``--policy raise``, no ``--explain`` family), and — like the
 phase still writes every requested ``--dot``/``--trace``/``--metrics``
 artifact and exits 2.
 
+``--runtime threads`` executes the program on the work-stealing
+:class:`~repro.runtime.executor.ThreadRuntime` (``--workers N`` sets the
+pool size) and ``--runtime asyncio`` on the cooperative
+:class:`~repro.runtime.asyncio_runtime.AsyncioRuntime` (the program file
+must then define ``async def program(rt)``), with detection running
+*online during the parallel execution*.  Both force ``--detector
+parallel`` (:class:`~repro.core.parallel_detector.ParallelRaceDetector`,
+the one engine whose verdicts are exact under any schedule — the DTRG
+family assumes the serial depth-first event order, see README "Choosing
+a runtime") and reject the flags whose machinery assumes that order:
+``--jobs``/``--fast`` (post-hoc replay), the ``--explain`` family
+(call-site provenance), and ``--dot``/``--trace``/``--witness``/
+``--verify-witness`` (computation-graph reconstruction).  The printed
+``racy location`` set matches the serial run; which unordered access of
+a pair lands second — and hence pair order in the report — may differ
+across schedules.
+
 ``my_program.py`` must define ``def program(rt):`` (and may define
 ``def setup(rt):`` returning shared state passed as the second argument).
 The file is executed with a fresh :class:`~repro.runtime.runtime.Runtime`;
@@ -92,11 +112,14 @@ from repro.baselines import (
 )
 from repro.core.detector import DeterminacyRaceDetector
 from repro.core.exact import ExactDetector
+from repro.core.parallel_detector import ParallelRaceDetector
 from repro.graph import GraphBuilder, ReachabilityClosure, to_dot
 from repro.harness.metrics import MetricsCollector
 from repro.core.events import ExecutionObserver
 from repro.memory.tracer import TraceRecorder, replay_trace_parallel
 from repro.runtime.errors import RaceError, UnsupportedConstructError
+from repro.runtime.asyncio_runtime import AsyncioRuntime
+from repro.runtime.executor import ThreadRuntime
 from repro.runtime.parallel import demonstrate_nondeterminism
 from repro.runtime.runtime import Runtime
 
@@ -111,6 +134,7 @@ DETECTORS = {
     "offset-span": OffsetSpanDetector,
     "vector-clock": VectorClockDetector,
     "brute-force": BruteForceDetector,
+    "parallel": ParallelRaceDetector,
 }
 
 
@@ -133,7 +157,17 @@ def main(argv: List[str] | None = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("program", help="python file defining program(rt)")
-    parser.add_argument("--detector", default="dtrg", choices=DETECTORS)
+    parser.add_argument("--detector", default=None, choices=DETECTORS,
+                        help="detection engine (default: dtrg on the "
+                             "serial runtime, parallel otherwise)")
+    parser.add_argument("--runtime", default="serial",
+                        choices=("serial", "threads", "asyncio"),
+                        help="execution substrate: the serial depth-first "
+                             "elision (default), the work-stealing "
+                             "ThreadRuntime, or the cooperative "
+                             "AsyncioRuntime (requires async def program)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker-thread count for --runtime threads")
     parser.add_argument("--policy", default="collect",
                         choices=("collect", "raise"))
     parser.add_argument("--dot", metavar="FILE",
@@ -181,6 +215,44 @@ def main(argv: List[str] | None = None) -> int:
                              "(implies --explain; exit 2 on mismatch)")
     args = parser.parse_args(argv)
 
+    concurrent = args.runtime != "serial"
+    if args.detector is None:
+        args.detector = "parallel" if concurrent else "dtrg"
+    if concurrent and args.detector != "parallel":
+        print(f"error: --runtime {args.runtime} executes a real parallel "
+              f"schedule; --detector {args.detector} assumes the serial "
+              "depth-first event order and its answers would be undefined. "
+              "Use --detector parallel (the default for this runtime)",
+              file=sys.stderr)
+        return 2
+    if args.workers is not None and args.runtime != "threads":
+        print("error: --workers only applies to --runtime threads",
+              file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if concurrent:
+        blocked = [
+            (args.jobs > 1, "--jobs"),
+            (args.fast, "--fast"),
+            (args.explain, "--explain"),
+            (args.witness_json is not None, "--witness-json"),
+            (args.html is not None, "--html"),
+            (args.verify_witness, "--verify-witness"),
+            (args.dot is not None, "--dot"),
+            (args.trace is not None, "--trace"),
+            (args.witness, "--witness"),
+        ]
+        offending = [flag for cond, flag in blocked if cond]
+        if offending:
+            print(f"error: {', '.join(offending)} assume(s) the serial "
+                  "depth-first event order (trace replay, provenance and "
+                  "computation-graph reconstruction are undefined under a "
+                  f"parallel schedule); drop it or drop --runtime "
+                  f"{args.runtime}", file=sys.stderr)
+            return 2
+
     explain = (args.explain or args.witness_json is not None
                or args.html is not None or args.verify_witness)
     if explain and args.detector != "dtrg":
@@ -223,6 +295,17 @@ def main(argv: List[str] | None = None) -> int:
     if not callable(entry):
         print(f"error: {args.program} does not define program(rt)",
               file=sys.stderr)
+        return 2
+    import inspect
+
+    if args.runtime == "asyncio" and not inspect.iscoroutinefunction(entry):
+        print(f"error: --runtime asyncio requires {args.program} to define "
+              "async def program(rt) (the serial and threads runtimes take "
+              "the synchronous form)", file=sys.stderr)
+        return 2
+    if args.runtime != "asyncio" and inspect.iscoroutinefunction(entry):
+        print(f"error: {args.program} defines async def program(rt); "
+              "run it with --runtime asyncio", file=sys.stderr)
         return 2
 
     obs = None
@@ -324,12 +407,24 @@ def main(argv: List[str] | None = None) -> int:
             obs.write_metrics(args.metrics_json)
             print(f"metrics written to {args.metrics_json}")
 
-    rt = Runtime(observers=observers, obs=obs, provenance=provenance)
+    if args.runtime == "threads":
+        rt = ThreadRuntime(observers=observers, obs=obs, workers=args.workers)
+    elif args.runtime == "asyncio":
+        rt = AsyncioRuntime(observers=observers, obs=obs)
+    else:
+        rt = Runtime(observers=observers, obs=obs, provenance=provenance)
     setup = namespace.get("setup")
     try:
         if callable(setup):
             state = setup(rt)
-            rt.run(lambda r: entry(r, state))
+            if args.runtime == "asyncio":
+
+                async def _entry(r):
+                    return await entry(r, state)
+
+                rt.run(_entry)
+            else:
+                rt.run(lambda r: entry(r, state))
         else:
             rt.run(entry)
     except RaceError as exc:

@@ -1,0 +1,82 @@
+"""Observability/provenance attachment must happen before execution.
+
+ShadowMemory and DynamicTaskReachabilityGraph cache their obs sinks in
+bound method attributes and per-call fast paths; rebinding them after
+events have been processed is unsafe once hooks can run concurrently
+(PR 8's ThreadRuntime), so late attachment now raises RuntimeStateError
+instead of silently racing.
+"""
+
+import pytest
+
+from repro import (
+    DeterminacyRaceDetector,
+    Observability,
+    Runtime,
+    RuntimeStateError,
+    SharedVar,
+)
+from repro.core.reachability import DynamicTaskReachabilityGraph
+from repro.core.shadow import ShadowMemory
+
+
+def _run_one_access(det):
+    rt = Runtime(observers=[det])
+    v = SharedVar(rt, "v")
+    rt.run(lambda r: v.write(1))
+
+
+def test_shadow_attach_observability_after_access_raises():
+    det = DeterminacyRaceDetector()
+    _run_one_access(det)
+    obs = Observability()
+    with pytest.raises(RuntimeStateError, match="attach"):
+        det.shadow.attach_observability(obs)
+
+
+def test_shadow_attach_provenance_after_access_raises():
+    det = DeterminacyRaceDetector()
+    _run_one_access(det)
+
+    class _Prov:
+        enabled = True
+
+        def stored_site(self, loc, task, kind):
+            return None
+
+    with pytest.raises(RuntimeStateError, match="attach"):
+        det.shadow.attach_provenance(_Prov())
+
+
+def test_dtrg_attach_observability_after_registration_raises():
+    det = DeterminacyRaceDetector()
+    _run_one_access(det)
+    obs = Observability()
+    with pytest.raises(RuntimeStateError, match="attach"):
+        det.dtrg.attach_observability(obs)
+
+
+def test_attach_before_execution_still_works():
+    det = DeterminacyRaceDetector()
+    obs = Observability()
+    det.shadow.attach_observability(obs)
+    det.dtrg.attach_observability(obs)
+    _run_one_access(det)
+    assert det.shadow.num_accesses == 1
+
+
+def test_fresh_shadow_attach_ok_and_disabled_obs_is_noop():
+    shadow = ShadowMemory(
+        precede=lambda a, b: True,
+        is_future=lambda t: False,
+        report=lambda kind, a, b, loc: None,
+    )
+    from repro.obs.hooks import NULL_OBSERVABILITY
+
+    shadow.attach_observability(NULL_OBSERVABILITY)  # disabled: no-op
+    shadow.attach_observability(Observability())
+
+
+def test_fresh_dtrg_attach_ok():
+    g = DynamicTaskReachabilityGraph()
+    g.attach_observability(Observability())

@@ -1,0 +1,159 @@
+"""Unit tests for ParallelRaceDetector — schedule-robust online detection.
+
+The detector's location-level verdict must agree with the serial DTRG
+detector under the serial elision (where both are well-defined); its
+scheduling-robustness under real parallelism is covered by
+tests/properties/test_runtime_parity.py.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    AccessKind,
+    DeterminacyRaceDetector,
+    ParallelRaceDetector,
+    RaceError,
+    ReportPolicy,
+    Runtime,
+    SharedArray,
+    SharedVar,
+)
+from repro.runtime.task import Task, TaskKind
+
+
+def _run(program, det):
+    rt = Runtime(observers=[det])
+    data = SharedArray(rt, "data", 4)
+    rt.run(lambda r: program(r, data))
+    return det
+
+
+def test_sibling_write_write_race():
+    det = _run(_sibling_writes, ParallelRaceDetector())
+    assert set(det.racy_locations) == {("data", 0)}
+    assert det.races[0].kind is AccessKind.WRITE_WRITE
+
+
+def _sibling_writes(rt, d):
+    with rt.finish():
+        rt.async_(lambda: d.write(0, 1))
+        rt.async_(lambda: d.write(0, 2))
+
+
+def test_write_read_and_read_write_kinds():
+    def prog_wr(rt, d):
+        with rt.finish():
+            rt.async_(lambda: d.write(0, 1))
+            rt.async_(lambda: d.read(0))
+
+    det = _run(prog_wr, ParallelRaceDetector())
+    kinds = {r.kind for r in det.races}
+    assert kinds == {AccessKind.WRITE_READ}
+
+    def prog_rw(rt, d):
+        with rt.finish():
+            rt.async_(lambda: d.read(0))
+            rt.async_(lambda: d.write(0, 1))
+
+    det = _run(prog_rw, ParallelRaceDetector())
+    kinds = {r.kind for r in det.races}
+    assert kinds == {AccessKind.READ_WRITE}
+
+
+def test_future_join_orders_accesses():
+    def prog(rt, d):
+        f = rt.future(lambda: d.write(0, 1))
+        f.get()
+        d.read(0)
+        d.write(0, 2)
+
+    det = _run(prog, ParallelRaceDetector())
+    assert det.races == []
+
+
+def test_finish_join_orders_accesses():
+    def prog(rt, d):
+        with rt.finish():
+            rt.async_(lambda: d.write(0, 1))
+        d.write(0, 2)  # ordered by the finish join
+
+    det = _run(prog, ParallelRaceDetector())
+    assert det.races == []
+
+
+def test_raise_policy_raises_race_error():
+    det = ParallelRaceDetector(policy=ReportPolicy.RAISE)
+    with pytest.raises(RaceError):
+        _run(_sibling_writes, det)
+
+
+def test_string_policy_accepted():
+    det = ParallelRaceDetector(policy="collect")
+    assert det.policy is ReportPolicy.COLLECT
+
+
+def test_dedupe_collapses_repeated_pairs():
+    # Each racy read re-checks the stored writer, so the same
+    # (loc, pair, kind) triple reports once per read without dedupe.
+    def prog(rt, d):
+        with rt.finish():
+            rt.async_(lambda: d.write(0, 1))
+            rt.async_(lambda: [d.read(0) for _ in range(3)])
+
+    det = _run(prog, ParallelRaceDetector(dedupe=True))
+    assert len(det.races) == 1
+    det = _run(prog, ParallelRaceDetector(dedupe=False))
+    assert len(det.races) == 3
+
+
+def test_precede_query_and_live_task_guard():
+    det = ParallelRaceDetector()
+
+    def prog(rt, d):
+        f = rt.future(lambda: d.write(0, 1))
+        f.get()
+        # f (tid 1) has ended and was joined: it precedes main now.
+        assert det.precede(1, 0)
+        with pytest.raises(RuntimeError, match="live"):
+            det.precede(0, 1)  # main is still live
+
+    _run(prog, det)
+    assert det.precede(0, 0)  # reflexive
+
+
+def test_join_before_task_end_violates_contract():
+    """A runtime that delivers on_get before the producer's on_task_end
+    breaks the RuntimeBase ordering contract — loudly."""
+    det = ParallelRaceDetector()
+    main = Task(0, TaskKind.MAIN, parent=None, ief=None)
+    det.on_init(main)
+    child = Task(1, TaskKind.FUTURE, parent=main, ief=None)
+    det.on_task_create(main, child)
+    with pytest.raises(RuntimeError, match="on_task_end"):
+        det.on_get(main, child)
+
+
+def test_mutation_epoch_and_perf_stats():
+    det = ParallelRaceDetector()
+    before = det.mutation_epoch
+    _run(_sibling_writes, det)
+    stats = det.perf_stats
+    assert det.mutation_epoch > before
+    assert stats["num_accesses"] == 2
+    assert stats["num_locations"] == 1
+    assert stats["num_tasks"] == 3
+
+
+def test_agrees_with_dtrg_detector_on_random_programs():
+    from repro.testing.generator import random_program, run_program
+
+    for seed in range(30):
+        program = random_program(random.Random(seed), max_depth=3)
+        dtrg = DeterminacyRaceDetector()
+        par = ParallelRaceDetector()
+        run_program(program, [dtrg, par])
+        assert set(par.racy_locations) == set(dtrg.report.racy_locations), (
+            f"seed {seed}"
+        )

@@ -1,0 +1,88 @@
+"""Runtime-parity property sweep (PR 8, satellite 4).
+
+For 200 generated programs, execute the same program on every substrate —
+serial depth-first elision, ThreadRuntime at 1/2/4 workers, AsyncioRuntime
+— each with a fresh :class:`ParallelRaceDetector`, and require:
+
+* **race-free programs**: identical final memory on every runtime (the
+  Determinism Property made executable — every DSL statement runs exactly
+  once, so statement-path write tokens are a schedule-independent
+  fingerprint) and an empty race report everywhere;
+* **racy programs**: the same *racy-location set* on every runtime, equal
+  to the brute-force oracle's.  Individual race pairs and their order may
+  legitimately differ across schedules (DESIGN.md "Race order under
+  parallel runtimes"): which unordered access lands second is a property
+  of the schedule, but the per-location verdict — the quantity the paper's
+  detector answers (races.py) — is schedule-independent.
+
+The sweep runs in scoped-handles mode: wild-mode registry publication is
+itself racy by construction, so cross-schedule memory comparison is only
+meaningful for the scoped fragment.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceDetector
+from repro.core.parallel_detector import ParallelRaceDetector
+from repro.testing.generator import (
+    random_program,
+    run_program_asyncio,
+    run_program_threads,
+    run_program_values,
+)
+
+SEEDS = 200
+CHUNK = 25
+
+
+def _check_seed(seed: int) -> bool:
+    """Run one generated program on all five substrates; return racy?"""
+    program = random_program(random.Random(seed), max_depth=3, max_block=4)
+
+    oracle = BruteForceDetector()
+    serial_det = ParallelRaceDetector()
+    _rt, serial_mem = run_program_values(program, [oracle, serial_det])
+    want = set(oracle.racy_locations)
+    assert set(serial_det.racy_locations) == want, (
+        f"seed {seed}: serial ParallelRaceDetector disagrees with oracle"
+    )
+
+    for workers in (1, 2, 4):
+        det = ParallelRaceDetector()
+        _trt, mem = run_program_threads(
+            program, [det], workers=workers, steal_seed=seed
+        )
+        assert set(det.racy_locations) == want, (
+            f"seed {seed}: threads x{workers} racy set "
+            f"{set(det.racy_locations)} != {want}"
+        )
+        if not want:
+            assert mem == serial_mem, (
+                f"seed {seed}: threads x{workers} final memory diverged "
+                "on a race-free program"
+            )
+
+    det = ParallelRaceDetector()
+    _art, mem = run_program_asyncio(program, [det])
+    assert set(det.racy_locations) == want, (
+        f"seed {seed}: asyncio racy set {set(det.racy_locations)} != {want}"
+    )
+    if not want:
+        assert mem == serial_mem, (
+            f"seed {seed}: asyncio final memory diverged on a race-free "
+            "program"
+        )
+    return bool(want)
+
+
+@pytest.mark.parametrize("chunk", range(SEEDS // CHUNK))
+def test_runtime_parity_sweep(chunk):
+    racy = sum(
+        _check_seed(seed)
+        for seed in range(chunk * CHUNK, (chunk + 1) * CHUNK)
+    )
+    # The generator mixes racy and race-free programs; both classes must
+    # be represented for the chunk to exercise both halves of the bar.
+    assert 0 < racy < CHUNK
