@@ -832,6 +832,7 @@ def check_trace_parallel(
     backend: Optional[str] = None,
     names: Optional[Dict[int, str]] = None,
     obs=None,
+    progress=None,
 ) -> ParallelCheckResult:
     """Two-phase sharded race check of a recorded event stream.
 
@@ -857,6 +858,12 @@ def check_trace_parallel(
         Optional :class:`repro.obs.Observability`; records freeze/fan-out/
         merge stage timings, shard balance metrics and per-shard spans.
         Disabled/None costs nothing.
+    progress:
+        Optional :class:`repro.obs.live.ProgressCounter`.  Bumped per
+        phase and per shard — for the ``inline`` backend after each
+        shard completes; for pooled (``fork``/``spawn``) backends the
+        workers run in other processes, so progress jumps once when
+        ``pool.map`` returns (documented coarseness, not a bug).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -865,11 +872,22 @@ def check_trace_parallel(
     t0 = time.perf_counter()
 
     num_buckets = max(jobs * _BUCKETS_PER_JOB, 1)
+    if progress is not None:
+        progress.set_phase("build")
+        if isinstance(trace, EncodedTrace):
+            progress.set_total(2 * len(trace))  # build pass + check pass
     if isinstance(trace, EncodedTrace):
         build = _build_phase_encoded(trace, num_buckets, names)
     else:
         build = _build_phase(trace, num_buckets, names)
     t_build = time.perf_counter()
+    if progress is not None:
+        # Exact total now that the build pass counted the stream: one
+        # unit per event in the build pass + one per access event in the
+        # check pass (structure events are not replayed by shards).
+        progress.set_total(build.num_events + build.num_access_events)
+        progress.add(build.num_events)
+        progress.set_phase("freeze")
 
     snapshot = DTRGSnapshot.freeze(build.dtrg)
     index = snapshot.index
@@ -911,12 +929,16 @@ def check_trace_parallel(
         ]
         obs.on_parallel_plan(jobs, backend, sizes)
 
+    if progress is not None:
+        progress.set_phase("check")
     shard_results: List[dict] = []
     if not active:
         pass
     elif backend == "inline" or len(active) == 1:
         for k in active:
             shard_results.append(_run_shard(payload, k))
+            if progress is not None:
+                progress.add(shard_results[-1]["events"])
     else:
         import multiprocessing
 
@@ -936,7 +958,13 @@ def check_trace_parallel(
                 shard_results = pool.map(_run_shard_pooled, active)
         finally:
             _SHARED_PAYLOAD = None
+        if progress is not None:
+            # Pooled workers live in other processes; the shared counter
+            # can only jump when the whole fan-out returns.
+            progress.add(sum(s["events"] for s in shard_results))
     t_check = time.perf_counter()
+    if progress is not None:
+        progress.set_phase("merge")
 
     result = ParallelCheckResult()
     result.jobs = jobs
@@ -990,6 +1018,9 @@ def check_trace_parallel(
             current_site=cur_site,
         ))
     t_merge = time.perf_counter()
+    if progress is not None:
+        progress.add_races(len(all_races))
+        progress.set_phase("done")
 
     result.timings = {
         "build_seconds": t_build - t0,

@@ -127,6 +127,10 @@ class ParallelRaceDetector(ExecutionObserver):
         Collapse repeated reports of the same (location, pair, kind).
     """
 
+    #: Stripe fan-out for :attr:`stripe_counts`; matches ThreadRuntime's
+    #: striped per-location lock count so the two tallies line up.
+    NUM_STRIPES = 64
+
     def __init__(
         self,
         policy: ReportPolicy | str = ReportPolicy.COLLECT,
@@ -152,6 +156,13 @@ class ParallelRaceDetector(ExecutionObserver):
         #: Structural mutation counter (core/backend.py epoch contract).
         self.mutation_epoch = 0
         self.num_accesses = 0
+        #: Per-stripe access tallies, indexed like ThreadRuntime's
+        #: striped per-location locks (``hash(loc) % NUM_STRIPES``) —
+        #: live telemetry reads these to show how access traffic spreads
+        #: over the lock stripes.  Increments happen while the caller
+        #: holds the matching stripe lock, so same-stripe updates never
+        #: collide; reads are lock-free and therefore approximate.
+        self.stripe_counts = [0] * self.NUM_STRIPES
 
     # ------------------------------------------------------------------ #
     # Structural hooks (serialized by the runtime)                       #
@@ -224,6 +235,7 @@ class ParallelRaceDetector(ExecutionObserver):
         stamp = clock[tid]
         cell = self._cell(loc)
         self.num_accesses += 1
+        self.stripe_counts[hash(loc) % self.NUM_STRIPES] += 1
         w = cell.writer
         if w is not None and w == (tid, stamp) and not cell.readers:
             return  # pure replay of this task's own stored write
@@ -246,6 +258,7 @@ class ParallelRaceDetector(ExecutionObserver):
         stamp = clock[tid]
         cell = self._cell(loc)
         self.num_accesses += 1
+        self.stripe_counts[hash(loc) % self.NUM_STRIPES] += 1
         w = cell.writer
         if w is not None and w[0] != tid and clock.get(w[0], 0) < w[1]:
             self._report_race("write-read", w[0], tid, loc)

@@ -132,6 +132,36 @@ Schema (``repro.bench.executors/1``)::
                     "races": ...},
          "threads-2": {"workers": 2, "pool_size": ..., ...}, ...}}, ...]}
 
+``--telemetry`` measures the live-telemetry plane's checking overhead
+(``docs/ALGORITHM.md`` §16) and writes ``BENCH_PR9.json`` by default:
+each workload's trace is checked detached (no telemetry object
+anywhere) and served (progress counter attached, 250 ms sampler
+running, HTTP exporter scraped every 250 ms by an in-process client),
+best-of-``--repeats`` per leg in the same process.  Rows record both
+wall times and ``telemetry_overhead_pct``, gated at ``--max-overhead``
+(default 5%); the served leg must also reproduce the detached leg's
+race summary, ordered pair list and invariant perf counters
+byte-for-byte (``identical``)::
+
+    repro-bench --telemetry --scale table2 --only Jacobi
+
+Schema (``repro.bench.telemetry/1``)::
+
+    {"schema": "repro.bench.telemetry/1", "scale": ..., "repeats": ...,
+     "cpu_count": ..., "max_overhead_pct": 5.0, "tag": ...,
+     "workloads": [{"name": ..., "num_events": ...,
+       "num_access_events": ..., "races": ..., "detached_seconds": ...,
+       "served_seconds": ..., "detached_events_per_second": ...,
+       "served_events_per_second": ..., "telemetry_overhead_pct": ...,
+       "overhead_ok": ..., "scrapes": ..., "samples": ...,
+       "identical": ..., "mismatches": [...]}, ...]}
+
+``--serve-metrics PORT`` / ``--heartbeat SECS`` watch the *bench run
+itself*: any mode gains a live ``/metrics`` + ``/snapshot`` endpoint
+(PORT 0 picks an ephemeral port, printed to stderr) and a periodic
+stderr progress line; the progress counter ticks once per completed
+workload row.
+
 ``--baseline FILE`` (throughput mode) gates against a checked-in
 baseline (``benchmarks/throughput_baseline.json``): the run fails if any
 workload's fast-path ``access_events_per_second`` drops more than 10%
@@ -167,6 +197,7 @@ from repro.harness.runner import (
     run_benchmark,
     run_executor_benchmark,
     run_parallel_benchmark,
+    run_telemetry_benchmark,
     run_throughput_benchmark,
 )
 
@@ -176,6 +207,7 @@ __all__ = [
     "backends_markdown",
     "executor_bench_data",
     "parallel_bench_data",
+    "telemetry_bench_data",
     "throughput_bench_data",
     "check_backends_baseline",
     "check_throughput_baseline",
@@ -186,7 +218,16 @@ BENCH_SCHEMA = "repro.bench/1"
 BACKEND_BENCH_SCHEMA = "repro.bench.backends/1"
 EXECUTOR_BENCH_SCHEMA = "repro.bench.executors/1"
 PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
+TELEMETRY_BENCH_SCHEMA = "repro.bench.telemetry/1"
 THROUGHPUT_BENCH_SCHEMA = "repro.bench.throughput/1"
+
+
+def _tick(progress) -> None:
+    """Bump a :class:`repro.obs.live.ProgressCounter` by one workload
+    row (``--serve-metrics``/``--heartbeat`` watch the bench run itself;
+    ``None`` — the default — keeps every mode telemetry-free)."""
+    if progress is not None:
+        progress.add(1)
 
 
 def _workload_data(result) -> dict:
@@ -222,6 +263,7 @@ def bench_data(
     verify: bool = True,
     tag: Optional[str] = None,
     out=None,
+    progress=None,
 ) -> dict:
     """Run ``names`` and assemble the ``repro.bench/1`` document.
 
@@ -242,9 +284,11 @@ def bench_data(
                 "name": name,
                 "error": f"{type(exc).__name__}: {exc}",
             })
+            _tick(progress)
             continue
         row = _workload_data(result)
         workloads.append(row)
+        _tick(progress)
         print(
             f"bench {name}: racedet {result.racedet_seconds * 1e3:.1f} ms "
             f"(x{result.slowdown_vs_seq:.2f} vs seq), "
@@ -274,6 +318,7 @@ def parallel_bench_data(
     backend: Optional[str] = None,
     tag: Optional[str] = None,
     out=None,
+    progress=None,
 ) -> dict:
     """Run ``names`` through the sharded checker and assemble the
     ``repro.bench.parallel/1`` document.  ``cpu_count`` is recorded so a
@@ -293,6 +338,7 @@ def parallel_bench_data(
                 "name": name,
                 "error": f"{type(exc).__name__}: {exc}",
             })
+            _tick(progress)
             continue
         workloads.append({
             "name": name,
@@ -324,6 +370,7 @@ def parallel_bench_data(
                 for n in jobs
             ],
         })
+        _tick(progress)
         fastest = max(jobs, key=lambda n: result.per_jobs[n]["speedup"])
         print(
             f"bench {name}: {result.num_access_events} accesses, "
@@ -365,6 +412,7 @@ def throughput_bench_data(
     verify: bool = True,
     tag: Optional[str] = None,
     out=None,
+    progress=None,
 ) -> dict:
     """Run ``names`` through the single-thread engine race and assemble
     the ``repro.bench.throughput/1`` document (see module docstring)."""
@@ -381,6 +429,7 @@ def throughput_bench_data(
                 "name": name,
                 "error": f"{type(exc).__name__}: {exc}",
             })
+            _tick(progress)
             continue
         ft = result.fast_timings
         workloads.append({
@@ -426,6 +475,7 @@ def throughput_bench_data(
             "identical": result.identical,
             "mismatches": result.mismatches,
         })
+        _tick(progress)
         print(
             f"bench {name}: {result.num_access_events} accesses — "
             f"replay {result.replay_events_per_second / 1e3:.0f}k ev/s, "
@@ -457,6 +507,7 @@ def backend_bench_data(
     verify: bool = True,
     tag: Optional[str] = None,
     out=None,
+    progress=None,
 ) -> dict:
     """Run ``names`` at each scale through the PRECEDE backend
     head-to-head and assemble the ``repro.bench.backends/1`` document
@@ -478,6 +529,7 @@ def backend_bench_data(
                     "scale": scale,
                     "error": f"{type(exc).__name__}: {exc}",
                 })
+                _tick(progress)
                 continue
             workloads.append({
                 "name": name,
@@ -491,6 +543,7 @@ def backend_bench_data(
                 "mismatches": result.mismatches,
                 "engines": result.per_engine,
             })
+            _tick(progress)
             cells = []
             for engine in BACKEND_ENGINES:
                 row = result.per_engine.get(engine, {})
@@ -526,6 +579,7 @@ def executor_bench_data(
     verify: bool = True,
     tag: Optional[str] = None,
     out=None,
+    progress=None,
 ) -> dict:
     """Run ``names`` live on every runtime substrate and assemble the
     ``repro.bench.executors/1`` document (see module docstring).  A
@@ -546,6 +600,7 @@ def executor_bench_data(
                 "name": name,
                 "error": f"{type(exc).__name__}: {exc}",
             })
+            _tick(progress)
             continue
         workloads.append({
             "name": name,
@@ -557,6 +612,7 @@ def executor_bench_data(
             "mismatches": result.mismatches,
             "runtimes": result.per_runtime,
         })
+        _tick(progress)
         serial_ms = result.per_runtime["serial"]["seconds"] * 1e3
         cells = [
             f"threads-{w} x"
@@ -587,6 +643,82 @@ def executor_bench_data(
             'is tagged "speedup_valid": false.\n' + "=" * 72,
             file=out or sys.stderr,
         )
+    if tag is not None:
+        data["tag"] = tag
+    return data
+
+
+def telemetry_bench_data(
+    names: List[str],
+    *,
+    scale: str = "small",
+    repeats: int = 3,
+    verify: bool = True,
+    max_overhead_pct: float = 5.0,
+    tag: Optional[str] = None,
+    out=None,
+    progress=None,
+) -> dict:
+    """Run ``names`` through the detached-vs-served fast-path comparison
+    and assemble the ``repro.bench.telemetry/1`` document (see module
+    docstring).  Each row carries its own ``overhead_ok`` verdict against
+    ``max_overhead_pct`` so the artifact is self-describing; the caller's
+    gate turns a false verdict (or an equivalence mismatch) into a
+    non-zero exit."""
+    workloads: List[dict] = []
+    for name in names:
+        try:
+            result = run_telemetry_benchmark(
+                name, scale, repeats=repeats, verify=verify
+            )
+        except Exception as exc:
+            print(f"bench {name}: FAILED — {type(exc).__name__}: {exc}",
+                  file=out or sys.stderr)
+            workloads.append({
+                "name": name,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            _tick(progress)
+            continue
+        overhead = round(result.telemetry_overhead_pct, 2)
+        workloads.append({
+            "name": name,
+            "scale": result.scale,
+            "num_events": result.num_events,
+            "num_access_events": result.num_access_events,
+            "races": result.races,
+            "detached_seconds": result.detached_seconds,
+            "served_seconds": result.served_seconds,
+            "detached_events_per_second": round(
+                result.detached_events_per_second, 1
+            ),
+            "served_events_per_second": round(
+                result.served_events_per_second, 1
+            ),
+            "telemetry_overhead_pct": overhead,
+            "overhead_ok": overhead <= max_overhead_pct,
+            "scrapes": result.scrapes,
+            "samples": result.samples,
+            "identical": result.identical,
+            "mismatches": result.mismatches,
+        })
+        _tick(progress)
+        print(
+            f"bench {name}: {result.num_events} events — detached "
+            f"{result.detached_seconds * 1e3:.1f} ms, served "
+            f"{result.served_seconds * 1e3:.1f} ms "
+            f"({overhead:+.2f}% overhead, {result.scrapes} scrape(s), "
+            f"{result.samples} sample(s)), identical={result.identical}",
+            file=out,
+        )
+    data = {
+        "schema": TELEMETRY_BENCH_SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "max_overhead_pct": max_overhead_pct,
+        "workloads": workloads,
+    }
     if tag is not None:
         data["tag"] = tag
     return data
@@ -753,6 +885,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run each workload live on the serial elision "
                              "and the work-stealing ThreadRuntime at each "
                              "--workers pool size, detecting online")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="measure the live-telemetry plane's checking "
+                             "overhead (detached vs served fast-path legs, "
+                             "gated at --max-overhead)")
+    parser.add_argument("--max-overhead", dest="max_overhead", type=float,
+                        default=5.0, metavar="PCT",
+                        help="with --telemetry: fail if any workload's "
+                             "served leg is more than PCT%% slower than "
+                             "its detached leg (default 5)")
+    parser.add_argument("--serve-metrics", dest="serve_metrics", type=int,
+                        default=None, metavar="PORT",
+                        help="serve live /metrics + /snapshot for the "
+                             "bench run itself (0 picks an ephemeral "
+                             "port, printed to stderr)")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        metavar="SECS",
+                        help="print a stderr progress line every SECS "
+                             "seconds while the sweep runs (0 disables)")
     parser.add_argument("--workers", type=_parse_jobs_list,
                         default=[1, 2, 4], metavar="N,N,...",
                         help="pool sizes for --executors (default 1,2,4)")
@@ -798,9 +948,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = args.only
 
     if sum((args.parallel, args.throughput, args.backends,
-            args.executors)) > 1:
-        print("error: --parallel, --throughput, --backends and "
-              "--executors are mutually exclusive", file=sys.stderr)
+            args.executors, args.telemetry)) > 1:
+        print("error: --parallel, --throughput, --backends, --executors "
+              "and --telemetry are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.heartbeat < 0:
+        print("error: --heartbeat must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_overhead <= 0:
+        print("error: --max-overhead must be positive", file=sys.stderr)
         return 2
     if args.baseline and not (args.throughput or args.backends):
         print("error: --baseline requires --throughput or --backends",
@@ -811,42 +967,74 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    if args.backends:
-        output = args.output or "BENCH_PR7.json"
-        data = backend_bench_data(
-            names, scales=args.scales or [args.scale],
-            repeats=max(args.repeats, 2), verify=not args.no_verify,
-            tag=args.tag,
+    telemetry = None
+    if args.serve_metrics is not None or args.heartbeat > 0:
+        from repro.obs.live import LiveTelemetry
+
+        telemetry = LiveTelemetry(
+            port=args.serve_metrics, heartbeat=args.heartbeat,
         )
-        if args.markdown:
-            with open(args.markdown, "w") as fh:
-                fh.write(backends_markdown(data))
-            print(f"markdown table written to {args.markdown}")
-    elif args.executors:
-        output = args.output or "BENCH_PR8.json"
-        data = executor_bench_data(
-            names, scale=args.scale, workers=args.workers,
-            repeats=args.repeats, verify=not args.no_verify, tag=args.tag,
+        telemetry.start()
+        if telemetry.url:
+            print(f"serving live metrics at {telemetry.url}/metrics "
+                  f"(snapshot: {telemetry.url}/snapshot)", file=sys.stderr)
+        rows = len(names) * (
+            len(args.scales or [args.scale]) if args.backends else 1
         )
-    elif args.parallel:
-        output = args.output or "BENCH_PR5.json"
-        data = parallel_bench_data(
-            names, scale=args.scale, jobs=args.jobs, repeats=args.repeats,
-            verify=not args.no_verify, backend=args.parallel_backend,
-            tag=args.tag,
-        )
-    elif args.throughput:
-        output = args.output or "BENCH_PR6.json"
-        data = throughput_bench_data(
-            names, scale=args.scale, repeats=max(args.repeats, 2),
-            verify=not args.no_verify, tag=args.tag,
-        )
-    else:
-        output = args.output or "BENCH_PR4.json"
-        data = bench_data(
-            names, scale=args.scale, repeats=args.repeats,
-            verify=not args.no_verify, tag=args.tag,
-        )
+        telemetry.progress.set_total(rows)
+        telemetry.progress.set_phase("bench")
+    progress = telemetry.progress if telemetry is not None else None
+
+    try:
+        if args.backends:
+            output = args.output or "BENCH_PR7.json"
+            data = backend_bench_data(
+                names, scales=args.scales or [args.scale],
+                repeats=max(args.repeats, 2), verify=not args.no_verify,
+                tag=args.tag, progress=progress,
+            )
+            if args.markdown:
+                with open(args.markdown, "w") as fh:
+                    fh.write(backends_markdown(data))
+                print(f"markdown table written to {args.markdown}")
+        elif args.executors:
+            output = args.output or "BENCH_PR8.json"
+            data = executor_bench_data(
+                names, scale=args.scale, workers=args.workers,
+                repeats=args.repeats, verify=not args.no_verify,
+                tag=args.tag, progress=progress,
+            )
+        elif args.parallel:
+            output = args.output or "BENCH_PR5.json"
+            data = parallel_bench_data(
+                names, scale=args.scale, jobs=args.jobs,
+                repeats=args.repeats, verify=not args.no_verify,
+                backend=args.parallel_backend, tag=args.tag,
+                progress=progress,
+            )
+        elif args.throughput:
+            output = args.output or "BENCH_PR6.json"
+            data = throughput_bench_data(
+                names, scale=args.scale, repeats=max(args.repeats, 2),
+                verify=not args.no_verify, tag=args.tag, progress=progress,
+            )
+        elif args.telemetry:
+            output = args.output or "BENCH_PR9.json"
+            data = telemetry_bench_data(
+                names, scale=args.scale, repeats=max(args.repeats, 3),
+                verify=not args.no_verify,
+                max_overhead_pct=args.max_overhead, tag=args.tag,
+                progress=progress,
+            )
+        else:
+            output = args.output or "BENCH_PR4.json"
+            data = bench_data(
+                names, scale=args.scale, repeats=args.repeats,
+                verify=not args.no_verify, tag=args.tag, progress=progress,
+            )
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
     with open(output, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -864,6 +1052,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             violations = check_backends_baseline(data, baseline)
         else:
             violations = check_throughput_baseline(data, baseline)
+    if args.telemetry:
+        for w in data["workloads"]:
+            if "error" in w or w["overhead_ok"]:
+                continue
+            violation = (
+                f"{w['name']}: telemetry overhead "
+                f"{w['telemetry_overhead_pct']:+.2f}% exceeds the "
+                f"{args.max_overhead:.1f}% budget"
+            )
+            violations.append(violation)
+            print(f"gate: {violation}", file=sys.stderr)
     print(f"{len(data['workloads'])} workload(s) written to {output}")
     if nondeterministic:
         print(f"error: non-identical results across engines/job counts: "
@@ -872,7 +1071,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {len(failed)} workload(s) failed: "
               f"{', '.join(failed)}", file=sys.stderr)
     if violations:
-        print(f"error: {len(violations)} throughput baseline violation(s)",
+        print(f"error: {len(violations)} gate/baseline violation(s)",
               file=sys.stderr)
     return 1 if failed or nondeterministic or violations else 0
 

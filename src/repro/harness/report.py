@@ -78,9 +78,15 @@ def render_metrics(metrics: Mapping[str, Any]) -> str:
     """Render an :class:`repro.obs.MetricsRegistry` dump (``as_dict()``).
 
     Counters become a key/value block; each histogram becomes one summary
-    row (count / mean / p50 / p99 / max); epoch-window hit-rate timelines
-    print their first and last windows.
+    row (count / mean / interpolated q50/q95/q99 / bucket-bound p50/p99 /
+    max); epoch-window hit-rate timelines print their first and last
+    windows.  The ``q*`` columns are linear-interpolation estimates
+    (:func:`repro.obs.metrics.quantile_from_dump`) computed from the
+    bucket counts, so dumps written before the quantile columns existed
+    render fine.
     """
+    from repro.obs.metrics import quantile_from_dump
+
     blocks: List[str] = []
     counters = metrics.get("counters") or {}
     if counters:
@@ -95,6 +101,9 @@ def render_metrics(metrics: Mapping[str, Any]) -> str:
                     "histogram": name,
                     "count": h.get("count", 0),
                     "mean": round(h.get("mean", 0.0), 2),
+                    "q50": round(quantile_from_dump(h, 0.50), 2),
+                    "q95": round(quantile_from_dump(h, 0.95), 2),
+                    "q99": round(quantile_from_dump(h, 0.99), 2),
                     "p50": h.get("p50", 0),
                     "p99": h.get("p99", 0),
                     "max": h.get("max", 0),

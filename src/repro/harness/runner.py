@@ -47,6 +47,8 @@ __all__ = [
     "run_executor_benchmark",
     "run_parallel_benchmark",
     "run_throughput_benchmark",
+    "TelemetryBenchResult",
+    "run_telemetry_benchmark",
 ]
 
 
@@ -466,6 +468,166 @@ def run_throughput_benchmark(
         snapshot_check_seconds=snap_check_best,
         snapshot_total_seconds=snap_total_best,
         fast_timings=fast_timings,
+        identical=not mismatches,
+        mismatches=mismatches,
+    )
+
+
+@dataclass
+class TelemetryBenchResult:
+    """One workload's trace checked twice by the fast-path engine:
+
+    * ``detached`` — plain ``check_trace_fast(encoded)``, no telemetry
+      object anywhere (the PR 3 null-object contract: this leg must be
+      byte-identical to a build without ``repro.obs.live`` imported);
+    * ``served`` — the same call with a :class:`~repro.obs.live.
+      LiveTelemetry` progress counter attached, the 250 ms runtime
+      sampler running, the HTTP exporter bound to an ephemeral port and
+      an in-process scraper hitting ``/metrics`` every 250 ms — the
+      worst realistic observation load a long run sees.
+
+    ``identical`` records the equivalence gate: both legs produced the
+    same ``RaceReport.summary()`` text, the same ordered race pair list
+    and the same invariant perf counters.  ``telemetry_overhead_pct`` is
+    the served/detached wall-time slowdown the ≤5 % acceptance gate
+    applies to (best-of-``repeats`` per leg, same process, so box-speed
+    noise mostly cancels).
+    """
+
+    name: str
+    scale: str
+    num_events: int
+    num_access_events: int
+    races: int
+    detached_seconds: float
+    served_seconds: float
+    scrapes: int               #: successful /metrics fetches in the served leg
+    samples: int               #: sampler ticks observed in the served leg
+    identical: bool
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def telemetry_overhead_pct(self) -> float:
+        d = self.detached_seconds
+        return (self.served_seconds - d) / d * 100.0 if d else 0.0
+
+    @property
+    def detached_events_per_second(self) -> float:
+        s = self.detached_seconds
+        return self.num_events / s if s else 0.0
+
+    @property
+    def served_events_per_second(self) -> float:
+        s = self.served_seconds
+        return self.num_events / s if s else 0.0
+
+
+def run_telemetry_benchmark(
+    name: str,
+    scale: str = "small",
+    *,
+    repeats: int = 3,
+    verify: bool = True,
+    interval: float = 0.25,
+) -> TelemetryBenchResult:
+    """Measure the live-telemetry plane's checking overhead on one
+    workload (see :class:`TelemetryBenchResult`).
+
+    Records the trace once, then runs a detached leg and a served leg
+    back-to-back in this process; each leg is best-of-``repeats``.  The
+    served leg keeps one LiveTelemetry (sampler + HTTP exporter) running
+    across its repeats and scrapes its own ``/metrics`` endpoint every
+    ``interval`` seconds from a background thread, so the number includes
+    exposition rendering and sampler contention, not just the progress
+    counter bumps."""
+    import threading
+    import urllib.request
+
+    from repro.core.events import encode_trace
+    from repro.core.fastcheck import check_trace_fast
+    from repro.memory.tracer import TraceRecorder
+    from repro.obs.live import LiveTelemetry
+
+    bench = BENCHMARKS.get(name) or EXTENDED_BENCHMARKS[name]
+    params = bench.params(scale)
+    recorder = TraceRecorder()
+    run = run_instrumented(
+        lambda rt: bench.parallel(rt, params),
+        detect=False,
+        extra_observers=(recorder,),
+    )
+    if verify:
+        bench.verify(params, run.result)
+    encoded = encode_trace(recorder.trace)
+
+    detached_best = float("inf")
+    detached = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        detached = check_trace_fast(encoded)
+        detached_best = min(detached_best, time.perf_counter() - start)
+
+    served_best = float("inf")
+    served = None
+    scrapes = 0
+    telemetry = LiveTelemetry(port=0, interval=interval)
+    telemetry.start()
+    stop = threading.Event()
+
+    def _scrape_loop() -> None:
+        # Scrape-then-wait, so even a leg shorter than one interval sees
+        # at least one concurrent exposition render.
+        nonlocal scrapes
+        url = f"{telemetry.url}/metrics"
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=2.0) as resp:
+                    resp.read()
+                scrapes += 1
+            except OSError:
+                pass
+            if stop.wait(interval):
+                return
+
+    scraper = threading.Thread(target=_scrape_loop, daemon=True)
+    scraper.start()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            served = check_trace_fast(encoded, progress=telemetry.progress)
+            served_best = min(served_best, time.perf_counter() - start)
+        samples = int(telemetry.sampler.gauges.get("sampler_samples_total", 0))
+    finally:
+        stop.set()
+        scraper.join(timeout=2.0)
+        telemetry.stop()
+
+    assert detached is not None and served is not None
+    mismatches: List[str] = []
+    if served.summary() != detached.summary():
+        mismatches.append("served: summary differs from detached")
+    if (
+        [r.pair_key for r in served.races]
+        != [r.pair_key for r in detached.races]
+    ):
+        mismatches.append("served: race list differs from detached")
+    for key in _INVARIANT_PERF:
+        if served.perf_stats[key] != detached.perf_stats[key]:
+            mismatches.append(
+                f"served: {key} {served.perf_stats[key]} "
+                f"!= {detached.perf_stats[key]}"
+            )
+
+    return TelemetryBenchResult(
+        name=name,
+        scale=scale,
+        num_events=detached.num_events,
+        num_access_events=detached.num_access_events,
+        races=len(detached.races),
+        detached_seconds=detached_best,
+        served_seconds=served_best,
+        scrapes=scrapes,
+        samples=samples,
         identical=not mismatches,
         mismatches=mismatches,
     )

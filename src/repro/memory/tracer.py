@@ -293,6 +293,7 @@ def replay_trace_parallel(
     backend: Optional[str] = None,
     names: Optional[Dict[int, str]] = None,
     obs=None,
+    progress=None,
 ):
     """Two-phase parallel replay: check a recorded trace with the DTRG
     detector sharded over ``jobs`` workers.
@@ -316,5 +317,6 @@ def replay_trace_parallel(
     from repro.core.parallel_check import check_trace_parallel
 
     return check_trace_parallel(
-        trace, jobs=jobs, backend=backend, names=names, obs=obs
+        trace, jobs=jobs, backend=backend, names=names, obs=obs,
+        progress=progress,
     )

@@ -36,7 +36,17 @@ al. (*DePa*):
   representatives, the LSA chain and the exhausted VISIT frontier);
 * :mod:`repro.obs.report_html` — self-contained HTML race reports
   (``repro-racecheck --html``) combining races, witnesses, the flight
-  recorder tail and a witness-overlaid DOT graph.
+  recorder tail and a witness-overlaid DOT graph;
+* :mod:`repro.obs.live` — the live telemetry plane
+  (:class:`LiveTelemetry`): an in-process HTTP exporter (``/metrics``
+  in Prometheus text exposition, ``/healthz``, ``/snapshot``), a
+  periodic :class:`RuntimeSampler` over detector/runtime state, a
+  shared :class:`ProgressCounter` the batched checkers bump, and the
+  stderr heartbeat behind ``--serve-metrics`` / ``--heartbeat`` on the
+  CLI tools (ALGORITHM.md §16);
+* :mod:`repro.obs.exposition` — the Prometheus text renderer behind
+  ``/metrics`` plus a strict promtool-style validator
+  (``python -m repro.obs.exposition FILE``) used by tests and CI.
 
 Capture a trace from the CLI::
 
@@ -45,12 +55,20 @@ Capture a trace from the CLI::
 then open ``out.json`` at https://ui.perfetto.dev (or ``chrome://tracing``).
 """
 
+from repro.obs.exposition import parse_exposition, render_exposition
 from repro.obs.hooks import NULL_OBSERVABILITY, Observability
+from repro.obs.live import (
+    LiveTelemetry,
+    ProgressCounter,
+    RuntimeSampler,
+    TelemetryServer,
+)
 from repro.obs.metrics import (
     Counter,
     EpochWindowRatio,
     Histogram,
     MetricsRegistry,
+    quantile_from_dump,
 )
 from repro.obs.provenance import (
     RaceProvenance,
@@ -84,4 +102,11 @@ __all__ = [
     "validate_chrome_trace",
     "validate_witness",
     "validate_witness_report",
+    "LiveTelemetry",
+    "ProgressCounter",
+    "RuntimeSampler",
+    "TelemetryServer",
+    "render_exposition",
+    "parse_exposition",
+    "quantile_from_dump",
 ]

@@ -1,0 +1,328 @@
+"""Prometheus text exposition: render a :class:`MetricsRegistry` (plus
+live gauges) to the classic ``text/plain; version=0.0.4`` format, and a
+promtool-style pure-Python validator for scraping it back.
+
+Rendering contract (what :mod:`repro.obs.live` serves on ``/metrics``):
+
+* counters become ``<prefix><name>_total`` counter families;
+* histograms become ``<prefix><name>`` histogram families with
+  *cumulative* ``_bucket{le="..."}`` samples, a ``le="+Inf"`` bucket,
+  ``_sum`` and ``_count`` — plus separate ``_p50`` / ``_p95`` / ``_p99``
+  gauge families carrying the interpolated quantile estimates (kept out
+  of the histogram family on purpose: mixing quantile samples into a
+  histogram family is nonstandard and trips strict parsers);
+* live gauges (sampler snapshots, progress) become plain gauge families.
+
+:func:`parse_exposition` is deliberately strict — it is the CI gate that
+keeps ``/metrics`` scrapable by real Prometheus: every sample line must
+match the exposition grammar, every family must declare ``# TYPE``
+before its first sample, histogram buckets must be cumulative and agree
+with ``_count``, and duplicate (name, labels) pairs are an error.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "render_exposition",
+    "parse_exposition",
+    "ExpositionError",
+    "DEFAULT_PREFIX",
+]
+
+DEFAULT_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+_VALUE_RE = re.compile(
+    r"^(?:[-+]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][-+]?\d+)?|[-+]?Inf|NaN)$"
+)
+
+
+class ExpositionError(ValueError):
+    """A /metrics payload that a strict Prometheus parser would reject."""
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+def _fmt(value: Any) -> str:
+    """Render a sample value: integral floats lose the trailing ``.0``
+    only when they are true ints; floats use repr (round-trippable)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    return repr(v)
+
+
+def _sanitize(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_exposition(
+    registry=None,
+    gauges: Optional[Mapping[str, Any]] = None,
+    progress: Optional[Mapping[str, Any]] = None,
+    prefix: str = DEFAULT_PREFIX,
+) -> str:
+    """Render registry counters/histograms, live gauges and a progress
+    snapshot to Prometheus text exposition (one trailing newline)."""
+    lines: List[str] = []
+
+    def family(name: str, kind: str, samples: Iterable[Tuple[str, str, Any]]):
+        lines.append(f"# TYPE {name} {kind}")
+        for sample_name, labels, value in samples:
+            if labels:
+                lines.append(f"{sample_name}{{{labels}}} {_fmt(value)}")
+            else:
+                lines.append(f"{sample_name} {_fmt(value)}")
+
+    if registry is not None:
+        dump = registry.as_dict()
+        for raw_name, value in sorted(dump.get("counters", {}).items()):
+            name = _sanitize(prefix + raw_name)
+            if not name.endswith("_total"):
+                name += "_total"
+            family(name, "counter", [(name, "", value)])
+        for raw_name, h in sorted(dump.get("histograms", {}).items()):
+            name = _sanitize(prefix + raw_name)
+            samples: List[Tuple[str, str, Any]] = []
+            cumulative = 0
+            for bucket in h["buckets"]:
+                cumulative += bucket["count"]
+                le = (
+                    "+Inf"
+                    if bucket["le"] == "+Inf"
+                    else _fmt(bucket["le"])
+                )
+                samples.append(
+                    (f"{name}_bucket", f'le="{le}"', cumulative)
+                )
+            samples.append((f"{name}_sum", "", h["sum"]))
+            samples.append((f"{name}_count", "", h["count"]))
+            family(name, "histogram", samples)
+            quantiles = h.get("quantiles") or {}
+            for q_key in ("p50", "p95", "p99"):
+                if q_key in quantiles:
+                    q_name = f"{name}_{q_key}"
+                    family(q_name, "gauge", [(q_name, "", quantiles[q_key])])
+
+    if progress is not None:
+        for key in ("events", "races"):
+            if key in progress:
+                name = _sanitize(f"{prefix}progress_{key}_total")
+                family(name, "counter", [(name, "", progress[key])])
+        if progress.get("total") is not None:
+            name = _sanitize(f"{prefix}progress_expected_events")
+            family(name, "gauge", [(name, "", progress["total"])])
+        phase = progress.get("phase")
+        if phase:
+            name = _sanitize(f"{prefix}progress_phase_info")
+            family(
+                name, "gauge",
+                [(name, f'phase="{_escape_label(str(phase))}"', 1)],
+            )
+
+    if gauges:
+        for raw_name, value in sorted(gauges.items()):
+            if value is None:
+                continue
+            # Names already namespaced by this package (``obs_*``, e.g.
+            # the satellite-pinned ``obs_trace_dropped_total``) or
+            # already carrying the prefix are emitted verbatim.
+            if raw_name.startswith(("obs_", prefix)) and prefix:
+                name = _sanitize(raw_name)
+            else:
+                name = _sanitize(prefix + raw_name)
+            # A live value named ``*_total`` is a monotonic counter read
+            # off the subject (steals, drops); type it honestly.
+            kind = "counter" if name.endswith("_total") else "gauge"
+            family(name, kind, [(name, "", value)])
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --------------------------------------------------------------------- #
+# Parsing / validation
+# --------------------------------------------------------------------- #
+def _parse_value(raw: str, lineno: int) -> float:
+    if not _VALUE_RE.match(raw):
+        raise ExpositionError(f"line {lineno}: malformed sample value {raw!r}")
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def _family_of(sample_name: str, typed: Mapping[str, str]) -> Optional[str]:
+    """Map a sample name to its declared family, honouring histogram
+    suffix conventions (``X_bucket``/``X_sum``/``X_count`` → ``X``)."""
+    if sample_name in typed:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if typed.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_exposition(text: str) -> Dict[Tuple[str, str], float]:
+    """Strictly parse Prometheus text exposition.
+
+    Returns ``{(sample_name, label_string): value}``.  Raises
+    :class:`ExpositionError` with a pointed message on the first
+    violation: malformed line, sample before its ``# TYPE``, duplicate
+    series, non-cumulative histogram buckets, missing ``+Inf`` bucket,
+    or ``_count`` disagreeing with the ``+Inf`` bucket.
+    """
+    typed: Dict[str, str] = {}
+    samples: Dict[Tuple[str, str], float] = {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ExpositionError(
+                        f"line {lineno}: malformed TYPE comment {line!r}"
+                    )
+                _, _, fam, kind = parts
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    raise ExpositionError(
+                        f"line {lineno}: unknown metric type {kind!r}"
+                    )
+                if fam in typed:
+                    raise ExpositionError(
+                        f"line {lineno}: duplicate TYPE for {fam!r}"
+                    )
+                typed[fam] = kind
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ExpositionError(
+                f"line {lineno}: malformed sample line {line!r}"
+            )
+        name = m.group("name")
+        label_str = m.group("labels") or ""
+        if label_str:
+            consumed = _LABEL_RE.sub("", label_str)
+            if consumed.strip(", \t"):
+                raise ExpositionError(
+                    f"line {lineno}: malformed labels {{{label_str}}}"
+                )
+        value = _parse_value(m.group("value"), lineno)
+        family = _family_of(name, typed)
+        if family is None:
+            raise ExpositionError(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        kind = typed[family]
+        if kind == "counter" and not name.endswith("_total"):
+            raise ExpositionError(
+                f"line {lineno}: counter sample {name!r} must end in _total"
+            )
+        key = (name, label_str)
+        if key in samples:
+            raise ExpositionError(
+                f"line {lineno}: duplicate series {name}{{{label_str}}}"
+            )
+        samples[key] = value
+        if kind == "histogram" and name == family + "_bucket":
+            labels = dict(
+                (lm.group("key"), lm.group("value"))
+                for lm in _LABEL_RE.finditer(label_str)
+            )
+            if "le" not in labels:
+                raise ExpositionError(
+                    f"line {lineno}: histogram bucket without le label"
+                )
+            le = _parse_value(labels["le"].replace("\\\\", "\\"), lineno)
+            buckets.setdefault(family, []).append((le, value))
+
+    for family, rows in buckets.items():
+        les = [le for le, _ in rows]
+        if les != sorted(les):
+            raise ExpositionError(
+                f"histogram {family!r}: bucket le values not ascending"
+            )
+        counts = [v for _, v in rows]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            raise ExpositionError(
+                f"histogram {family!r}: bucket counts not cumulative"
+            )
+        if not les or not math.isinf(les[-1]):
+            raise ExpositionError(
+                f"histogram {family!r}: missing le=\"+Inf\" bucket"
+            )
+        count = samples.get((family + "_count", ""))
+        if count is not None and count != counts[-1]:
+            raise ExpositionError(
+                f"histogram {family!r}: _count {count} != +Inf bucket "
+                f"{counts[-1]}"
+            )
+
+    return samples
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.exposition FILE`` — validate a scraped
+    /metrics payload (``-`` reads stdin).  Exit 0 valid, 1 invalid,
+    2 usage."""
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.obs.exposition FILE|-", file=sys.stderr)
+        return 2
+    try:
+        if args[0] == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args[0]) as fh:
+                text = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        samples = parse_exposition(text)
+    except ExpositionError as exc:
+        print(f"INVALID exposition: {exc}", file=sys.stderr)
+        return 1
+    families = {name.rsplit("_bucket", 1)[0] for name, _ in samples}
+    print(f"OK: {len(samples)} samples across ~{len(families)} series names")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

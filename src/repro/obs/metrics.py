@@ -30,6 +30,7 @@ __all__ = [
     "Histogram",
     "EpochWindowRatio",
     "MetricsRegistry",
+    "quantile_from_dump",
     "PRECEDE_LATENCY_BUCKETS_NS",
     "FRONTIER_BUCKETS",
     "READER_BUCKETS",
@@ -136,6 +137,55 @@ class Histogram:
                 return self.max if self.max is not None else 0.0
         return self.max if self.max is not None else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) by linear
+        interpolation inside the containing bucket — the
+        ``histogram_quantile`` estimator, with two refinements the tests
+        pin:
+
+        * a rank landing exactly on a bucket's cumulative boundary
+          returns that bucket's upper bound exactly (no interpolation
+          drift across the seam);
+        * the first bucket interpolates from the observed ``min`` (not
+          an assumed 0) and the overflow bucket from its lower bound to
+          the observed ``max``, so estimates never leave the observed
+          value range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            prev_cumulative = cumulative
+            cumulative += n
+            if cumulative >= rank and n:
+                if i < len(self.bounds):
+                    hi = self.bounds[i]
+                    lo = (
+                        self.bounds[i - 1]
+                        if i > 0
+                        else (self.min if self.min is not None else hi)
+                    )
+                else:
+                    hi = self.max if self.max is not None else 0.0
+                    lo = self.bounds[-1]
+                lo = min(lo, hi)
+                if n == 0 or hi == lo:
+                    estimate = hi
+                else:
+                    fraction = (rank - prev_cumulative) / n
+                    estimate = lo + (hi - lo) * min(fraction, 1.0)
+                # Clamp to the observed range: interpolation must never
+                # report a value no observation could have had.
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                return estimate
+        return self.max if self.max is not None else 0.0
+
     def as_dict(self) -> Dict[str, Any]:
         buckets = [
             {"le": bound, "count": n}
@@ -150,11 +200,60 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "quantiles": {
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            },
             "buckets": buckets,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram(count={self.count}, mean={self.mean:.1f})"
+
+
+def quantile_from_dump(dump: Dict[str, Any], q: float) -> float:
+    """:meth:`Histogram.quantile` applied to a histogram's ``as_dict``
+    dump — lets :func:`repro.harness.report.render_metrics` interpolate
+    quantiles from a ``--metrics-json`` file without the live object.
+
+    Old dumps (pre-quantile PRs) lack nothing this needs: only
+    ``buckets``, ``count``, ``min`` and ``max`` are read.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q!r}")
+    count = dump.get("count", 0)
+    if not count:
+        return 0.0
+    buckets = dump.get("buckets", [])
+    bounds = [b["le"] for b in buckets if b["le"] != "+Inf"]
+    counts = [b["count"] for b in buckets]
+    rank = q * count
+    vmin = dump.get("min")
+    vmax = dump.get("max")
+    cumulative = 0
+    for i, n in enumerate(counts):
+        prev_cumulative = cumulative
+        cumulative += n
+        if cumulative >= rank and n:
+            if i < len(bounds):
+                hi = bounds[i]
+                lo = bounds[i - 1] if i > 0 else (vmin if vmin is not None else hi)
+            else:
+                hi = vmax if vmax is not None else 0.0
+                lo = bounds[-1] if bounds else hi
+            lo = min(lo, hi)
+            if hi == lo:
+                estimate = hi
+            else:
+                fraction = (rank - prev_cumulative) / n
+                estimate = lo + (hi - lo) * min(fraction, 1.0)
+            if vmax is not None:
+                estimate = min(estimate, vmax)
+            if vmin is not None:
+                estimate = max(estimate, vmin)
+            return estimate
+    return vmax if vmax is not None else 0.0
 
 
 class EpochWindowRatio:

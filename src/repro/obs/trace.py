@@ -149,7 +149,14 @@ class RingTracer:
         return self._events[self._next:] + self._events[: self._next]
 
     def to_chrome(self) -> Dict[str, Any]:
-        """The full trace as a Chrome trace-event JSON object."""
+        """The full trace as a Chrome trace-event JSON object.
+
+        When the ring wrapped, a ``trace_buffer_stats`` metadata record
+        (``ph: "M"``) is emitted alongside ``otherData.dropped`` —
+        Perfetto surfaces metadata args in the UI, where ``otherData``
+        is invisible, so a truncated trace announces itself where the
+        person reading it will actually look.
+        """
         metadata: List[Dict[str, Any]] = []
         for key, name in self._track_names.items():
             metadata.append({
@@ -158,6 +165,18 @@ class RingTracer:
                 "pid": 1,
                 "tid": self.track_id(key),
                 "args": {"name": name},
+            })
+        if self.dropped:
+            metadata.append({
+                "name": "trace_buffer_stats",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {
+                    "dropped": self.dropped,
+                    "capacity": self.capacity,
+                    "complete": False,
+                },
             })
         return {
             "traceEvents": metadata + self.events(),

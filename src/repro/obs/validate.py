@@ -36,8 +36,32 @@ __all__ = [
     "validate_chrome_trace",
     "validate_witness",
     "validate_witness_report",
+    "trace_dropped_events",
     "main",
 ]
+
+
+def trace_dropped_events(data) -> int:
+    """Ring-buffer drop count recorded in a Chrome trace export, read
+    from ``otherData.dropped`` with the ``trace_buffer_stats`` metadata
+    record as fallback (hand-trimmed traces sometimes lose one or the
+    other).  0 when absent or malformed."""
+    if not isinstance(data, dict):
+        return 0
+    other = data.get("otherData")
+    if isinstance(other, dict):
+        dropped = other.get("dropped")
+        if isinstance(dropped, int) and not isinstance(dropped, bool):
+            return max(dropped, 0)
+    for event in data.get("traceEvents", []) or []:
+        if (isinstance(event, dict) and event.get("ph") == "M"
+                and event.get("name") == "trace_buffer_stats"):
+            args = event.get("args")
+            if isinstance(args, dict):
+                dropped = args.get("dropped")
+                if isinstance(dropped, int) and not isinstance(dropped, bool):
+                    return max(dropped, 0)
+    return 0
 
 _PHASES = {"X", "i", "M"}
 _INSTANT_SCOPES = {"t", "p", "g"}
@@ -251,6 +275,16 @@ def main(argv: List[str] | None = None) -> int:
         kind = "Chrome trace"
         problems = validate_chrome_trace(data)
         events = data.get("traceEvents", []) if isinstance(data, dict) else []
+        dropped = trace_dropped_events(data)
+        if dropped:
+            # Drops are a *warning*, not a schema failure: the trace is
+            # well-formed, it just isn't the whole run.
+            print(
+                f"warning: ring buffer dropped {dropped} event(s) — "
+                f"the trace holds only the latest window "
+                f"(raise RingTracer capacity to keep more)",
+                file=sys.stderr,
+            )
         phases: dict = {}
         for event in events:
             if isinstance(event, dict):

@@ -196,6 +196,10 @@ class ThreadRuntime:
         self.steals = 0
         self.failed_steals = 0
         self.compensation_threads = 0
+        #: Per-stripe acquisition tallies for record_read/record_write;
+        #: bumped while the stripe lock is held (the index is already in
+        #: hand), read lock-free by the telemetry sampler.
+        self._stripe_counts = [0] * _STRIPES
 
     # ------------------------------------------------------------------ #
     # Observer management                                                #
@@ -377,7 +381,9 @@ class ThreadRuntime:
         if ctx is None:
             raise RuntimeStateError("shared read outside a running task")
         task = ctx.task
-        with self._stripes[hash(loc) % _STRIPES]:
+        idx = hash(loc) % _STRIPES
+        with self._stripes[idx]:
+            self._stripe_counts[idx] += 1
             for hook in self._read_hooks:
                 hook(task, loc)
 
@@ -387,7 +393,9 @@ class ThreadRuntime:
         if ctx is None:
             raise RuntimeStateError("shared write outside a running task")
         task = ctx.task
-        with self._stripes[hash(loc) % _STRIPES]:
+        idx = hash(loc) % _STRIPES
+        with self._stripes[idx]:
+            self._stripe_counts[idx] += 1
             for hook in self._write_hooks:
                 hook(task, loc)
 
@@ -661,3 +669,28 @@ class ThreadRuntime:
     def pool_size(self) -> int:
         """Worker threads started so far (including compensation)."""
         return len(self._threads)
+
+    # ------------------------------------------------------------------ #
+    # Live-telemetry introspection (lock-free, approximate)               #
+    # ------------------------------------------------------------------ #
+    @property
+    def blocked(self) -> int:
+        """Workers currently parked in a blocking ``get`` (approximate:
+        read without ``_pool_lock``, so a sampler may see a value one
+        transition stale — never negative state corruption, since it
+        only ever reads)."""
+        return self._blocked
+
+    @property
+    def stripe_acquisitions(self) -> List[int]:
+        """Per-stripe acquisition counts of the record_read/record_write
+        per-location locks (a copy; approximate under concurrency)."""
+        return list(self._stripe_counts)
+
+    def deque_depths(self) -> List[int]:
+        """Current per-worker deque depths, sampled without taking slot
+        locks.  ``len`` of a deque is a single C-level read, so each
+        entry is individually coherent; the *vector* is not an atomic
+        snapshot (ALGORITHM.md §16) — good enough for gauges, never used
+        for scheduling decisions."""
+        return [len(slot.deque) for slot in list(self._slots)]

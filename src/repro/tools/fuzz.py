@@ -670,16 +670,27 @@ def fuzz_range(
     obs=None,
     jobs: int = 1,
     runtimes: bool = False,
+    progress=None,
 ) -> Tuple[FuzzStats, List[FuzzFailure]]:
-    """Fuzz ``seeds``; returns stats and signature-deduplicated failures."""
+    """Fuzz ``seeds``; returns stats and signature-deduplicated failures.
+
+    ``progress`` is an optional
+    :class:`repro.obs.live.ProgressCounter`: one unit per seed (a seed
+    is the campaign's natural work quantum), failures surface as the
+    live race count.
+    """
     generator_kwargs = generator_kwargs or {}
     stats = FuzzStats()
     unique: Dict[str, FuzzFailure] = {}
+    if progress is not None:
+        progress.set_total(len(seeds))
+        progress.set_phase("fuzz")
     for seed in seeds:
         program = random_program(random.Random(seed), **generator_kwargs)
         stats.seeds += 1
         stats.programs += 1
         stats.statements += count_stmts(program.body)
+        new_failures = 0
         for failure in check_seed(
             seed, program, modes=modes, stats=stats, obs=obs, jobs=jobs,
             runtimes=runtimes,
@@ -689,6 +700,11 @@ def fuzz_range(
                       f"{failure.detail}", file=out)
             if failure.signature not in unique:
                 unique[failure.signature] = failure
+                new_failures += 1
+        if progress is not None:
+            progress.add(1)
+            if new_failures:
+                progress.add_races(new_failures)
         if fail_fast and unique:
             break
     failures = list(unique.values())
@@ -839,6 +855,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write a Chrome trace of the scoped dtrg runs")
     parser.add_argument("--metrics-json", metavar="FILE", dest="metrics_json",
                         help="write the observability registry as JSON")
+    parser.add_argument("--serve-metrics", type=int, default=None,
+                        metavar="PORT", dest="serve_metrics",
+                        help="serve live campaign telemetry over HTTP "
+                             "(/metrics, /healthz, /snapshot); PORT 0 "
+                             "binds an ephemeral port (printed to stderr)")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        metavar="SECS",
+                        help="stderr heartbeat every SECS seconds (seeds "
+                             "processed, unique failures, ETA); 0 disables")
     args = parser.parse_args(argv)
 
     obs = None
@@ -867,22 +892,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("corpus replay clean")
         return 0
 
+    telemetry = None
+    if args.serve_metrics is not None or args.heartbeat > 0:
+        from repro.obs.live import LiveTelemetry
+
+        telemetry = LiveTelemetry(
+            registry=getattr(obs, "registry", None) if obs else None,
+            tracer=getattr(obs, "tracer", None) if obs else None,
+            port=args.serve_metrics,
+            heartbeat=args.heartbeat,
+        )
+        telemetry.start()
+        if telemetry.url:
+            print(f"serving live metrics at {telemetry.url}/metrics",
+                  file=sys.stderr)
+
     modes = ("scoped", "wild") if args.mode == "both" else (args.mode,)
-    stats, failures = fuzz_range(
-        args.seeds,
-        modes=modes,
-        generator_kwargs=dict(
-            num_locs=args.num_locs, max_depth=args.max_depth,
-            max_block=args.max_block, p_task=args.p_task, p_get=args.p_get,
-        ),
-        shrink=not args.no_shrink,
-        shrink_budget=args.shrink_budget,
-        fail_fast=args.fail_fast,
-        verbose=args.verbose,
-        obs=obs,
-        jobs=args.jobs,
-        runtimes=args.runtimes,
-    )
+    try:
+        stats, failures = fuzz_range(
+            args.seeds,
+            modes=modes,
+            generator_kwargs=dict(
+                num_locs=args.num_locs, max_depth=args.max_depth,
+                max_block=args.max_block, p_task=args.p_task, p_get=args.p_get,
+            ),
+            shrink=not args.no_shrink,
+            shrink_budget=args.shrink_budget,
+            fail_fast=args.fail_fast,
+            verbose=args.verbose,
+            obs=obs,
+            jobs=args.jobs,
+            runtimes=args.runtimes,
+            progress=telemetry.progress if telemetry is not None else None,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
 
     print(render_table(stats.detector_rows()))
     print()

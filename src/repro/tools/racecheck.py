@@ -213,7 +213,30 @@ def main(argv: List[str] | None = None) -> int:
                         help="cross-check every witness against the "
                              "brute-force computation graph "
                              "(implies --explain; exit 2 on mismatch)")
+    parser.add_argument("--serve-metrics", type=int, default=None,
+                        metavar="PORT", dest="serve_metrics",
+                        help="serve live telemetry over HTTP while the "
+                             "check runs: /metrics (Prometheus text "
+                             "exposition), /healthz, /snapshot (JSON). "
+                             "PORT 0 binds an ephemeral port (printed to "
+                             "stderr)")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        metavar="SECS",
+                        help="print a progress heartbeat line to stderr "
+                             "every SECS seconds (events processed, races "
+                             "so far, ETA); 0 disables (default)")
+    parser.add_argument("--sample-interval", type=float, default=0.25,
+                        metavar="SECS", dest="sample_interval",
+                        help="live-telemetry sampler cadence "
+                             "(default 0.25)")
     args = parser.parse_args(argv)
+
+    if args.heartbeat < 0:
+        print("error: --heartbeat must be >= 0", file=sys.stderr)
+        return 2
+    if args.sample_interval <= 0:
+        print("error: --sample-interval must be > 0", file=sys.stderr)
+        return 2
 
     concurrent = args.runtime != "serial"
     if args.detector is None:
@@ -413,113 +436,143 @@ def main(argv: List[str] | None = None) -> int:
         rt = AsyncioRuntime(observers=observers, obs=obs)
     else:
         rt = Runtime(observers=observers, obs=obs, provenance=provenance)
+
+    telemetry = None
+    if args.serve_metrics is not None or args.heartbeat > 0:
+        from repro.obs.live import LiveTelemetry
+
+        telemetry = LiveTelemetry(
+            registry=obs.registry if obs is not None else None,
+            tracer=obs.tracer if obs is not None else None,
+            port=args.serve_metrics,
+            interval=args.sample_interval,
+            heartbeat=args.heartbeat,
+        )
+        if detector is not None:
+            telemetry.attach_detector(detector)
+        telemetry.attach_runtime(rt)  # no-op for runtimes without deques
+        telemetry.start()
+        if telemetry.url:
+            print(f"serving live metrics at {telemetry.url}/metrics "
+                  f"(snapshot: {telemetry.url}/snapshot)", file=sys.stderr)
+        telemetry.progress.set_phase(
+            "record" if (parallel or args.fast) else "execute"
+        )
+    progress = telemetry.progress if telemetry is not None else None
+
     setup = namespace.get("setup")
     try:
-        if callable(setup):
-            state = setup(rt)
-            if args.runtime == "asyncio":
+        try:
+            if callable(setup):
+                state = setup(rt)
+                if args.runtime == "asyncio":
 
-                async def _entry(r):
-                    return await entry(r, state)
+                    async def _entry(r):
+                        return await entry(r, state)
 
-                rt.run(_entry)
+                    rt.run(_entry)
+                else:
+                    rt.run(lambda r: entry(r, state))
             else:
-                rt.run(lambda r: entry(r, state))
-        else:
-            rt.run(entry)
-    except RaceError as exc:
-        print(f"RACE (aborted at first): {exc}")
-        write_artifacts()
-        return 1
-    except UnsupportedConstructError as exc:
-        print(f"unsupported construct for --detector {args.detector}: {exc}",
-              file=sys.stderr)
-        write_artifacts()
-        return 2
-    except Exception as exc:
-        print(f"error: {args.program} raised "
-              f"{type(exc).__name__}: {exc}", file=sys.stderr)
-        write_artifacts()
-        return 2
+                rt.run(entry)
+        except RaceError as exc:
+            print(f"RACE (aborted at first): {exc}")
+            write_artifacts()
+            return 1
+        except UnsupportedConstructError as exc:
+            print(f"unsupported construct for --detector {args.detector}: {exc}",
+                  file=sys.stderr)
+            write_artifacts()
+            return 2
+        except Exception as exc:
+            print(f"error: {args.program} raised "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            write_artifacts()
+            return 2
 
-    if parallel:
-        result = replay_trace_parallel(
-            recorder.trace,
-            jobs=args.jobs,
-            backend=args.parallel_backend,
-            names=name_capture.names,
-            obs=obs,
-        )
-        detector = result  # duck-typed: .report / .races / .witnesses
-        if args.metrics:
-            timings = result.timings
-            print(f"parallel check: jobs={result.jobs} "
-                  f"backend={result.backend} shards={len(result.shards)} "
-                  f"freeze={timings['freeze_seconds'] * 1e3:.1f}ms "
-                  f"check={timings['check_seconds'] * 1e3:.1f}ms "
-                  f"merge={timings['merge_seconds'] * 1e3:.1f}ms")
-    elif args.fast:
-        from repro.core.fastcheck import check_trace_fast
-
-        result = check_trace_fast(
-            recorder.trace, names=name_capture.names
-        )
-        detector = result  # duck-typed: .report / .races / .witnesses
-        if args.metrics:
-            timings = result.timings
-            print(f"fast check: "
-                  f"encode={timings['encode_seconds'] * 1e3:.1f}ms "
-                  f"structure={timings['structure_seconds'] * 1e3:.1f}ms "
-                  f"access={timings['access_seconds'] * 1e3:.1f}ms "
-                  f"({result.events_per_second:,.0f} access-checks/s)")
-
-    print(detector.report.summary())
-
-    witnesses = getattr(detector, "witnesses", None) or []
-    if explain and witnesses:
-        from repro.obs import render_witness_text
-
-        print("\nrace witnesses (non-ordering certificates):")
-        for witness in witnesses:
-            print()
-            print(render_witness_text(witness))
-
-    verify_failed = False
-    if args.verify_witness and graph_builder is not None:
-        from repro.obs import confirm_witness
-
-        closure = ReachabilityClosure(graph_builder.graph)
-        for witness in witnesses:
-            ok = confirm_witness(
-                witness, graph_builder.graph, closure=closure
+        if parallel:
+            result = replay_trace_parallel(
+                recorder.trace,
+                jobs=args.jobs,
+                backend=args.parallel_backend,
+                names=name_capture.names,
+                obs=obs,
+                progress=progress,
             )
-            status = "confirmed" if ok else "REFUTED"
-            print(f"witness {witness.witness_id}: {status} against "
-                  "brute-force closure")
-            verify_failed = verify_failed or not ok
+            detector = result  # duck-typed: .report / .races / .witnesses
+            if args.metrics:
+                timings = result.timings
+                print(f"parallel check: jobs={result.jobs} "
+                      f"backend={result.backend} shards={len(result.shards)} "
+                      f"freeze={timings['freeze_seconds'] * 1e3:.1f}ms "
+                      f"check={timings['check_seconds'] * 1e3:.1f}ms "
+                      f"merge={timings['merge_seconds'] * 1e3:.1f}ms")
+        elif args.fast:
+            from repro.core.fastcheck import check_trace_fast
 
-    write_artifacts()
-
-    if verify_failed:
-        print("error: witness verification failed — detector and "
-              "brute-force closure disagree", file=sys.stderr)
-        return 2
-
-    if args.witness and graph_builder is not None and detector.report.has_races:
-        closure = ReachabilityClosure(graph_builder.graph)
-        print("\nschedule witnesses:")
-        for loc in sorted(detector.report.racy_locations, key=repr):
-            pair = demonstrate_nondeterminism(
-                graph_builder.graph, loc, closure
+            result = check_trace_fast(
+                recorder.trace, names=name_capture.names,
+                progress=progress,
             )
-            if pair is None:
-                print(f"  {loc!r}: racy but observably masked "
-                      "(racy-yet-determinate)")
-            else:
-                diffs = pair[0].differs_from(pair[1])
-                print(f"  {loc!r}: {diffs[0]}")
+            detector = result  # duck-typed: .report / .races / .witnesses
+            if args.metrics:
+                timings = result.timings
+                print(f"fast check: "
+                      f"encode={timings['encode_seconds'] * 1e3:.1f}ms "
+                      f"structure={timings['structure_seconds'] * 1e3:.1f}ms "
+                      f"access={timings['access_seconds'] * 1e3:.1f}ms "
+                      f"({result.events_per_second:,.0f} access-checks/s)")
 
-    return 1 if detector.report.has_races else 0
+        print(detector.report.summary())
+
+        witnesses = getattr(detector, "witnesses", None) or []
+        if explain and witnesses:
+            from repro.obs import render_witness_text
+
+            print("\nrace witnesses (non-ordering certificates):")
+            for witness in witnesses:
+                print()
+                print(render_witness_text(witness))
+
+        verify_failed = False
+        if args.verify_witness and graph_builder is not None:
+            from repro.obs import confirm_witness
+
+            closure = ReachabilityClosure(graph_builder.graph)
+            for witness in witnesses:
+                ok = confirm_witness(
+                    witness, graph_builder.graph, closure=closure
+                )
+                status = "confirmed" if ok else "REFUTED"
+                print(f"witness {witness.witness_id}: {status} against "
+                      "brute-force closure")
+                verify_failed = verify_failed or not ok
+
+        write_artifacts()
+
+        if verify_failed:
+            print("error: witness verification failed — detector and "
+                  "brute-force closure disagree", file=sys.stderr)
+            return 2
+
+        if args.witness and graph_builder is not None and detector.report.has_races:
+            closure = ReachabilityClosure(graph_builder.graph)
+            print("\nschedule witnesses:")
+            for loc in sorted(detector.report.racy_locations, key=repr):
+                pair = demonstrate_nondeterminism(
+                    graph_builder.graph, loc, closure
+                )
+                if pair is None:
+                    print(f"  {loc!r}: racy but observably masked "
+                          "(racy-yet-determinate)")
+                else:
+                    diffs = pair[0].differs_from(pair[1])
+                    print(f"  {loc!r}: {diffs[0]}")
+
+        return 1 if detector.report.has_races else 0
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
 
 
 if __name__ == "__main__":

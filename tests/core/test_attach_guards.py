@@ -80,3 +80,57 @@ def test_fresh_shadow_attach_ok_and_disabled_obs_is_noop():
 def test_fresh_dtrg_attach_ok():
     g = DynamicTaskReachabilityGraph()
     g.attach_observability(Observability())
+
+
+# ---------------------------------------------------------------------- #
+# AsyncioRuntime: the same before-execution contract holds on the
+# cooperative path (PR 9 — the live sampler attaches sources up front,
+# never observers mid-run).
+# ---------------------------------------------------------------------- #
+class TestAsyncioRuntimeAttachOrdering:
+    def _runtime(self):
+        from repro.runtime.asyncio_runtime import AsyncioRuntime
+
+        return AsyncioRuntime()
+
+    def test_add_observer_mid_execution_raises(self):
+        rt = self._runtime()
+        det = DeterminacyRaceDetector()
+
+        async def program(rt):
+            rt.add_observer(det)
+
+        with pytest.raises(RuntimeStateError, match="while running"):
+            rt.run(program)
+
+    def test_add_observer_from_spawned_task_raises(self):
+        rt = self._runtime()
+        failures = []
+
+        async def child():
+            try:
+                rt.add_observer(DeterminacyRaceDetector())
+            except RuntimeStateError:
+                failures.append("guarded")
+
+        async def program(rt):
+            async with rt.finish():
+                rt.async_(child)
+
+        rt.run(program)
+        assert failures == ["guarded"]
+
+    def test_add_observer_before_run_still_works(self):
+        from repro.core.parallel_detector import ParallelRaceDetector
+
+        rt = self._runtime()
+        det = ParallelRaceDetector()
+        rt.add_observer(det)
+
+        async def program(rt):
+            v = SharedVar(rt, "v")
+            v.write(1)
+
+        rt.run(program)
+        assert det.perf_stats["num_accesses"] == 1
+        assert not det.races

@@ -1,0 +1,169 @@
+"""Unit tests for the Prometheus text exposition renderer/validator."""
+
+import pytest
+
+from repro.obs.exposition import (
+    DEFAULT_PREFIX,
+    ExpositionError,
+    main,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("precede_queries").inc(42)
+    h = reg.histogram("batch_events", (10, 100))
+    for v in (5, 50, 500):
+        h.observe(v)
+    return reg
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_exposition(registry=_registry())
+        assert "# TYPE repro_precede_queries_total counter" in text
+        assert "repro_precede_queries_total 42" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_exposition(registry=_registry())
+        samples = parse_exposition(text)
+        assert samples[("repro_batch_events_bucket", 'le="10"')] == 1
+        assert samples[("repro_batch_events_bucket", 'le="100"')] == 2
+        assert samples[("repro_batch_events_bucket", 'le="+Inf"')] == 3
+        assert samples[("repro_batch_events_count", "")] == 3
+        assert samples[("repro_batch_events_sum", "")] == 555
+
+    def test_histogram_quantiles_are_separate_gauge_families(self):
+        text = render_exposition(registry=_registry())
+        assert "# TYPE repro_batch_events_p50 gauge" in text
+        assert "# TYPE repro_batch_events_p95 gauge" in text
+        assert "# TYPE repro_batch_events_p99 gauge" in text
+        # and never inside the histogram family itself
+        assert 'repro_batch_events{quantile="' not in text
+
+    def test_gauges_and_progress(self):
+        text = render_exposition(
+            gauges={"shadow_cells": 7, "exec_steals_total": 3},
+            progress={"events": 10, "races": 1, "total": 20, "phase": "check"},
+        )
+        samples = parse_exposition(text)
+        assert samples[("repro_shadow_cells", "")] == 7
+        # *_total gauges are typed as counters
+        assert "# TYPE repro_exec_steals_total counter" in text
+        assert samples[("repro_progress_events_total", "")] == 10
+        assert samples[("repro_progress_races_total", "")] == 1
+        assert samples[("repro_progress_expected_events", "")] == 20
+        assert samples[("repro_progress_phase_info", 'phase="check"')] == 1
+
+    def test_obs_prefixed_gauge_kept_verbatim(self):
+        # The satellite-pinned drop counter must keep its exact name.
+        text = render_exposition(gauges={"obs_trace_dropped_total": 4})
+        samples = parse_exposition(text)
+        assert samples[("obs_trace_dropped_total", "")] == 4
+        assert ("repro_obs_trace_dropped_total", "") not in samples
+
+    def test_none_gauges_skipped_and_empty_renders_empty(self):
+        assert render_exposition() == ""
+        text = render_exposition(gauges={"a": None})
+        assert text == ""
+
+    def test_custom_prefix(self):
+        text = render_exposition(
+            registry=_registry(), prefix="x_"
+        )
+        assert "x_precede_queries_total 42" in text
+        assert DEFAULT_PREFIX not in text
+
+    def test_round_trip_is_strictly_valid(self):
+        text = render_exposition(
+            registry=_registry(),
+            gauges={"shadow_cells": 1, "obs_trace_dropped_total": 0},
+            progress={"events": 5, "races": 0, "total": 10, "phase": "p"},
+        )
+        parse_exposition(text)  # must not raise
+
+
+class TestParseStrictness:
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(ExpositionError, match="no preceding # TYPE"):
+            parse_exposition("repro_x 1\n")
+
+    def test_counter_without_total_suffix_rejected(self):
+        with pytest.raises(ExpositionError, match="_total"):
+            parse_exposition("# TYPE repro_x counter\nrepro_x 1\n")
+
+    def test_duplicate_series_rejected(self):
+        text = "# TYPE repro_x gauge\nrepro_x 1\nrepro_x 2\n"
+        with pytest.raises(ExpositionError, match="duplicate series"):
+            parse_exposition(text)
+
+    def test_duplicate_type_rejected(self):
+        text = "# TYPE repro_x gauge\n# TYPE repro_x gauge\n"
+        with pytest.raises(ExpositionError, match="duplicate TYPE"):
+            parse_exposition(text)
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(ExpositionError, match="malformed sample value"):
+            parse_exposition("# TYPE repro_x gauge\nrepro_x pony\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ExpositionError, match="malformed labels"):
+            parse_exposition('# TYPE repro_x gauge\nrepro_x{oops} 1\n')
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ExpositionError, match="not cumulative"):
+            parse_exposition(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_count_disagreeing_with_inf_bucket_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="_count"):
+            parse_exposition(text)
+
+    def test_inf_and_nan_values_accepted(self):
+        samples = parse_exposition(
+            "# TYPE repro_x gauge\nrepro_x +Inf\n# TYPE repro_y gauge\n"
+            "repro_y NaN\n"
+        )
+        assert samples[("repro_x", "")] == float("inf")
+
+
+class TestCli:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        path.write_text(render_exposition(registry=_registry()))
+        assert main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("repro_x 1\n")
+        assert main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_usage_error_exits_two(self):
+        assert main([]) == 2
+        assert main(["/nonexistent/path/metrics.txt"]) == 2

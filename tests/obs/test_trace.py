@@ -53,6 +53,29 @@ class TestRingTracer:
         with pytest.raises(ValueError):
             RingTracer(capacity=0)
 
+    def test_drop_metadata_record_emitted_when_ring_wrapped(self):
+        t = make_tracer(capacity=2)
+        for n in range(5):
+            t.instant(f"e{n}", "c", 0)
+        chrome = t.to_chrome()
+        stats = [e for e in chrome["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "trace_buffer_stats"]
+        assert len(stats) == 1
+        assert stats[0]["args"] == {
+            "dropped": 3, "capacity": 2, "complete": False,
+        }
+        # The stats record is still schema-valid Chrome metadata.
+        from repro.obs.validate import validate_chrome_trace
+        assert validate_chrome_trace(chrome) == []
+
+    def test_no_drop_metadata_record_without_drops(self):
+        t = make_tracer(capacity=8)
+        t.instant("only", "c", 0)
+        chrome = t.to_chrome()
+        assert not any(e.get("name") == "trace_buffer_stats"
+                       for e in chrome["traceEvents"])
+        assert chrome["otherData"]["dropped"] == 0
+
     def test_write_produces_valid_schema(self, tmp_path):
         t = make_tracer()
         t.set_track_name("dtrg", "DTRG")

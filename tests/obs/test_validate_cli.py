@@ -130,6 +130,43 @@ def test_witness_missing_certificate_exits_one(tmp_path, capsys):
     assert "certificate" in capsys.readouterr().err
 
 
+def test_dropped_events_warn_but_still_exit_zero(tmp_path, capsys):
+    """A wrapped ring buffer is a *warning* — the trace stays valid."""
+    from repro.obs.trace import RingTracer
+
+    ticks = iter(range(0, 1_000_000, 1000))
+    t = RingTracer(capacity=2, clock=lambda: next(ticks))
+    for n in range(6):
+        t.instant(f"e{n}", "c", 0)
+    path = tmp_path / "wrapped.json"
+    t.write(path)
+    assert validate_main([str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "warning: ring buffer dropped 4 event(s)" in captured.err
+    assert "valid Chrome trace" in captured.out
+
+
+def test_complete_trace_emits_no_drop_warning(tmp_path, capsys):
+    bare = tmp_path / "ok.json"
+    bare.write_text(json.dumps({"traceEvents": []}))
+    assert validate_main([str(bare)]) == 0
+    assert "dropped" not in capsys.readouterr().err
+
+
+def test_trace_dropped_events_helper():
+    from repro.obs.validate import trace_dropped_events
+
+    assert trace_dropped_events({"traceEvents": []}) == 0
+    assert trace_dropped_events(
+        {"traceEvents": [], "otherData": {"dropped": 7}}) == 7
+    # Falls back to the metadata record when otherData is absent.
+    assert trace_dropped_events({"traceEvents": [
+        {"ph": "M", "name": "trace_buffer_stats", "pid": 1, "tid": 0,
+         "args": {"dropped": 3}},
+    ]}) == 3
+    assert trace_dropped_events(None) == 0
+
+
 def test_missing_file_still_exits_two(tmp_path, capsys):
     assert validate_main([str(tmp_path / "nope.json")]) == 2
     assert validate_main([]) == 2
